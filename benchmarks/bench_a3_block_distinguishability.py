@@ -1,0 +1,90 @@
+"""A3 -- ablation: what the disguised layout gives up in block opacity.
+
+Bayer--Metzger: *"the opponent or attacker cannot distinguish one block
+from the next"*.  The Hardjono--Seberry layout trades part of that
+(plaintext headers + disguised key arrays) for traversal speed.  This
+bench measures the trade: per-layout block entropy and how accurately a
+naive entropy classifier separates node blocks from data blocks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.frequency import (
+    distinguishability_report,
+    mean_pairwise_distance,
+    profile_disk,
+)
+from repro.core.bayer_metzger import BayerMetzgerBTree
+from repro.core.enciphered_btree import EncipheredBTree
+from repro.designs.difference_sets import planar_difference_set
+from repro.substitution.oval import OvalSubstitution
+
+DESIGN = planar_difference_set(23)  # v = 553
+NUM_KEYS = 200
+
+
+def build_systems():
+    keys = random.Random(0xA3).sample(range(DESIGN.v), NUM_KEYS)
+    hs = EncipheredBTree(OvalSubstitution(DESIGN, t=9), block_size=512, min_degree=4)
+    bm = BayerMetzgerBTree(block_size=512, min_degree=4)
+    for k in keys:
+        payload = f"classified record {k} :: ".encode() * 2
+        hs.insert(k, payload[:100])
+        bm.insert(k, payload[:100])
+    return hs, bm
+
+
+def test_a3_block_distinguishability(benchmark, reporter):
+    hs, bm = build_systems()
+
+    hs_report = distinguishability_report(hs.disk, hs.records.disk)
+    bm_report = distinguishability_report(bm.disk, bm.records.disk)
+    benchmark(profile_disk, hs.disk)
+
+    hs_nodes = [d for _, d in hs.disk.raw_blocks()]
+    bm_nodes = [d for _, d in bm.disk.raw_blocks()]
+
+    reporter.table(
+        f"block opacity by layout ({NUM_KEYS} records, 512 B blocks)",
+        [
+            "layout",
+            "node zero-frac",
+            "data zero-frac",
+            "node/data classifier acc",
+            "pairwise chi2 (nodes)",
+        ],
+        [
+            [
+                "Hardjono-Seberry",
+                f"{hs_report['node_zero_fraction']:.3f}",
+                f"{hs_report['data_zero_fraction']:.3f}",
+                f"{hs_report['accuracy']:.0%}",
+                f"{mean_pairwise_distance(hs_nodes):.3f}",
+            ],
+            [
+                "Bayer-Metzger (triplet)",
+                f"{bm_report['node_zero_fraction']:.3f}",
+                f"{bm_report['data_zero_fraction']:.3f}",
+                f"{bm_report['accuracy']:.0%}",
+                f"{mean_pairwise_distance(bm_nodes):.3f}",
+            ],
+        ],
+    )
+
+    # HS node blocks carry plaintext key arrays: zero-rich, trivially
+    # classified.  BM node blocks are ciphertext: zero fraction near the
+    # data blocks' 1/256, so the classifier degrades toward chance.
+    assert hs_report["node_zero_fraction"] > 4 * bm_report["node_zero_fraction"]
+    assert hs_report["accuracy"] >= bm_report["accuracy"]
+    assert bm_report["accuracy"] < 0.75
+    reporter.section(
+        "verdict",
+        "the baseline's fully enciphered pages are near-uniform and hard "
+        "to tell from data blocks (the Bayer-Metzger goal); the paper's "
+        "layout exposes structured key arrays, so an opponent can at "
+        "least *identify* node blocks.  The paper accepts this: what it "
+        "protects is the tree's shape and the key values, via the "
+        "disguise and the encrypted pointers.",
+    )

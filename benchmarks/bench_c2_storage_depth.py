@@ -1,0 +1,101 @@
+"""C2 -- storage: encrypted keys shrink fanout and deepen the tree.
+
+§4.2: *"this will result in triplets that consume large storage spaces on
+the node blocks.  Fewer triplets can be fitted onto a given node block,
+and the depth of the B-Tree would then increase substantially."*
+
+The bench sweeps RSA modulus sizes and block sizes, computing triplet
+width, fanout and minimum tree depth for 10^6 records under three key
+policies: plaintext keys, disguised keys (bounded by v), encrypted keys.
+"""
+
+from __future__ import annotations
+
+from repro.storage.layout import (
+    NodeLayout,
+    encrypted_key_triplet,
+    plaintext_triplet,
+    substituted_triplet,
+)
+
+RECORDS = 10**6
+V = 1_004_057  # a v > R bound for the disguise (order-1000-ish plane scale)
+RSA_BITS = [128, 256, 512, 1024]
+BLOCK_SIZES = [512, 2048, 8192]
+
+
+def sweep() -> list[dict]:
+    rows = []
+    for block in BLOCK_SIZES:
+        for bits in RSA_BITS:
+            cryptogram = bits // 8
+            disguised = NodeLayout(block, substituted_triplet(V, cryptogram))
+            encrypted = NodeLayout(block, encrypted_key_triplet(cryptogram))
+            try:
+                d_fanout, d_depth = disguised.fanout, disguised.min_depth_for(RECORDS)
+            except Exception:
+                d_fanout, d_depth = None, None
+            try:
+                e_fanout, e_depth = encrypted.fanout, encrypted.min_depth_for(RECORDS)
+            except Exception:
+                e_fanout, e_depth = None, None
+            rows.append(
+                {
+                    "block": block,
+                    "bits": bits,
+                    "disguised_fanout": d_fanout,
+                    "disguised_depth": d_depth,
+                    "encrypted_fanout": e_fanout,
+                    "encrypted_depth": e_depth,
+                }
+            )
+    return rows
+
+
+def test_c2_storage_and_depth(benchmark, reporter):
+    rows = benchmark(sweep)
+
+    plain = NodeLayout(8192, plaintext_triplet(max_key=V, max_pointer=2**32 - 1))
+    reporter.section(
+        "baseline",
+        f"plaintext triplet: {plain.triplet.triplet_bytes} B -> fanout "
+        f"{plain.fanout}, depth {plain.min_depth_for(RECORDS)} for 10^6 records",
+    )
+
+    table = []
+    for r in rows:
+        table.append(
+            [
+                r["block"],
+                r["bits"],
+                r["disguised_fanout"] or "n/a",
+                r["disguised_depth"] if r["disguised_depth"] is not None else "n/a",
+                r["encrypted_fanout"] or "n/a",
+                r["encrypted_depth"] if r["encrypted_depth"] is not None else "n/a",
+            ]
+        )
+    reporter.table(
+        f"fanout and min depth for {RECORDS:,} records (disguise bound v = {V:,})",
+        ["block B", "RSA bits", "disg fanout", "disg depth", "enc fanout", "enc depth"],
+        table,
+    )
+
+    # assertions: disguised fanout always beats encrypted; depth never worse
+    for r in rows:
+        if r["disguised_fanout"] and r["encrypted_fanout"]:
+            assert r["disguised_fanout"] > r["encrypted_fanout"]
+            assert r["disguised_depth"] <= r["encrypted_depth"]
+    # substantial depth increase somewhere in the sweep (paper: "would
+    # then increase substantially")
+    gaps = [
+        r["encrypted_depth"] - r["disguised_depth"]
+        for r in rows
+        if r["disguised_depth"] is not None and r["encrypted_depth"] is not None
+    ]
+    assert max(gaps) >= 2
+    reporter.section(
+        "verdict",
+        f"max depth penalty of encrypted keys in the sweep: {max(gaps)} "
+        "extra levels -- each level is another disk read and another round "
+        "of decryptions per lookup.",
+    )

@@ -1,0 +1,101 @@
+"""C3 -- insert/delete reorganisation overhead under per-page keys.
+
+§3: when nodes split or merge, every migrated triplet must be decrypted
+and re-encrypted under the destination page's key -- *including the
+static search keys*, which the paper's scheme never ciphers.  The bench
+drives identical insert-then-delete workloads through both systems and
+accounts every cryptographic operation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.bayer_metzger import BayerMetzgerBTree
+from repro.core.enciphered_btree import EncipheredBTree
+from repro.designs.difference_sets import planar_difference_set
+from repro.substitution.oval import OvalSubstitution
+
+DESIGN = planar_difference_set(23)  # v = 553
+NUM_KEYS = 300
+
+
+def _keys():
+    return random.Random(0xC3).sample(range(DESIGN.v), NUM_KEYS)
+
+
+def run_workload(system) -> None:
+    keys = _keys()
+    for k in keys:
+        system.insert(k, b"x")
+    for k in keys[: NUM_KEYS // 2]:
+        system.delete(k)
+
+
+def test_c3_reorganisation(benchmark, reporter):
+    hs = EncipheredBTree(OvalSubstitution(DESIGN, t=9), block_size=512, min_degree=4)
+    bm = BayerMetzgerBTree(block_size=512, min_degree=4)
+    hs.reset_costs()
+    bm.reset_costs()
+    run_workload(hs)
+    run_workload(bm)
+    hs_cost = hs.cost_snapshot()
+    bm_cost = bm.cost_snapshot()
+
+    # time the HS workload end to end
+    def fresh_hs_run():
+        tree = EncipheredBTree(
+            OvalSubstitution(DESIGN, t=9), block_size=512, min_degree=4
+        )
+        run_workload(tree)
+        return tree
+
+    benchmark.pedantic(fresh_hs_run, rounds=1, iterations=1)
+
+    ops = 1.5 * NUM_KEYS  # inserts + deletes
+    reporter.table(
+        f"crypto operations for {NUM_KEYS} inserts + {NUM_KEYS // 2} deletes "
+        f"(splits: HS={hs.tree.counters.splits}, BM={bm.tree.counters.splits}; "
+        f"merges: HS={hs.tree.counters.merges}, BM={bm.tree.counters.merges})",
+        ["system", "unit", "encryptions", "decryptions", "per op"],
+        [
+            [
+                "Hardjono-Seberry",
+                "pointer cryptograms (RSA)",
+                hs_cost.pointer_encryptions,
+                hs_cost.pointer_decryptions,
+                f"{(hs_cost.pointer_encryptions + hs_cost.pointer_decryptions) / ops:.1f}",
+            ],
+            [
+                "Hardjono-Seberry",
+                "key substitutions (arithmetic)",
+                hs_cost.substitutions,
+                hs_cost.inversions,
+                f"{(hs_cost.substitutions + hs_cost.inversions) / ops:.1f}",
+            ],
+            [
+                "Bayer-Metzger",
+                "whole triplets (DES, keys inside)",
+                bm_cost.triplet_encryptions,
+                bm_cost.triplet_decryptions,
+                f"{(bm_cost.triplet_encryptions + bm_cost.triplet_decryptions) / ops:.1f}",
+            ],
+        ],
+    )
+
+    # the paper's point: the baseline runs its *keys* through the cipher
+    # on every rewrite; the substitution scheme replaces exactly those
+    # cipher operations with arithmetic
+    assert bm_cost.triplet_encryptions > 0 and bm_cost.triplet_decryptions > 0
+    assert hs_cost.substitutions + hs_cost.inversions > 0
+    # both schemes re-encrypt pointers on reorganisation (E(b||a||p) binds
+    # the block number), so the saving is precisely the key cipher work:
+    saved = bm_cost.triplet_encryptions + bm_cost.triplet_decryptions
+    replaced = hs_cost.substitutions + hs_cost.inversions
+    reporter.section(
+        "verdict",
+        f"the baseline performs {saved} triplet cipher operations whose key "
+        f"component the substitution scheme replaces with {replaced} modular "
+        "multiplications.  Key material never transits the cipher in the "
+        "Hardjono-Seberry layout.",
+    )

@@ -1,0 +1,121 @@
+"""C4 -- range queries: exact-match-only encryption vs order-preserving
+substitution.
+
+§1: with a conventional high-level encryption front-end, *"the only
+search that can be performed without having to decrypt every record in
+the database is that of exact-matching"* -- a range query must scan and
+decrypt everything.  §4.3's sum substitution preserves order, so the
+filter forwards ranges to the DBMS untouched.
+
+The bench compares, across selectivities: records decrypted and B-Tree
+work for (a) the security filter and (b) a deterministic-encryption
+front-end that must full-scan.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.plain import PlainBTreeSystem
+from repro.core.security_filter import SealedRecord, SecurityFilter
+from repro.crypto.base import CountingCipher
+from repro.crypto.rsa import RSA, generate_rsa_keypair
+from repro.designs.difference_sets import planar_difference_set
+from repro.substitution.sums import SumSubstitution
+
+DESIGN = planar_difference_set(23)  # v = 553
+NUM_KEYS = 400
+SELECTIVITIES = [0.01, 0.05, 0.20, 0.50]
+
+
+class ExactMatchFrontEnd:
+    """The §1 strawman: keys encrypted deterministically, records placed
+    by cryptogram value.  Exact match works; ranges must scan all."""
+
+    def __init__(self) -> None:
+        self.cipher = CountingCipher(
+            RSA(generate_rsa_keypair(bits=128, rng=random.Random(0xC4)))
+        )
+        self.dbms = PlainBTreeSystem(block_size=2048, key_bytes=16)
+
+    def insert(self, key: int, payload: bytes) -> None:
+        self.dbms.insert(self.cipher.encrypt_int(key), payload)
+
+    def search(self, key: int) -> bytes:
+        return self.dbms.search(self.cipher.encrypt_int(key))
+
+    def range_search(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
+        """No order to exploit: decrypt every stored key and filter."""
+        out = []
+        for stored_key, payload in self.dbms.tree.items():
+            key = self.cipher.decrypt_int(stored_key)
+            if lo <= key <= hi:
+                out.append((key, self.dbms._fetch_record(payload)))
+        out.sort()
+        return out
+
+
+def test_c4_range_queries(benchmark, reporter):
+    rng = random.Random(0xC4)
+    keys = rng.sample(range(NUM_KEYS), NUM_KEYS * 3 // 4)
+    payloads = {k: f"rec{k}".encode() for k in keys}
+
+    filter_system = SecurityFilter(SumSubstitution(DESIGN, num_keys=NUM_KEYS))
+    exact_system = ExactMatchFrontEnd()
+    for k in keys:
+        filter_system.insert(k, payloads[k])
+        exact_system.insert(k, payloads[k])
+
+    rows = []
+    for selectivity in SELECTIVITIES:
+        span = max(1, int(NUM_KEYS * selectivity))
+        lo = rng.randrange(0, NUM_KEYS - span)
+        hi = lo + span - 1
+
+        filter_system.dbms.tree.counters.reset()
+        filter_result = filter_system.range_search(lo, hi)
+        filter_visited = filter_system.dbms.tree.counters.nodes_visited
+
+        exact_system.cipher.reset_counts()
+        exact_system.dbms.tree.counters.reset()
+        exact_result = exact_system.range_search(lo, hi)
+        exact_decryptions = exact_system.cipher.counts.decryptions
+        exact_visited = exact_system.dbms.tree.counters.nodes_visited
+
+        assert filter_result == exact_result  # same answers
+        rows.append(
+            [
+                f"{selectivity:.0%}",
+                len(filter_result),
+                filter_visited,
+                len(filter_result),  # filter decrypts only the hits
+                exact_visited,
+                exact_decryptions,
+            ]
+        )
+
+    benchmark(filter_system.range_search, 10, 50)
+
+    reporter.table(
+        f"range queries over {len(keys)} records (universe {NUM_KEYS} keys)",
+        [
+            "selectivity",
+            "hits",
+            "filter nodes",
+            "filter decrypts",
+            "scan nodes",
+            "scan decrypts",
+        ],
+        rows,
+    )
+
+    # the strawman decrypts every key regardless of selectivity
+    assert all(row[5] == len(keys) for row in rows)
+    # the filter's work tracks the hit count, not the database size
+    assert rows[0][3] < len(keys) // 10
+    reporter.section(
+        "verdict",
+        "the exact-match front-end decrypts every stored key for every "
+        "range; the order-preserving filter touches only the range. This "
+        "is the operational gap §1 motivates and §4.3 closes.",
+    )

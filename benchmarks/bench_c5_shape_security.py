@@ -1,0 +1,124 @@
+"""C5 -- shape security: what an opponent reconstructs from raw blocks.
+
+§4.1/§6: the substituted keys *"will not provide the correct shape of the
+original B-Tree"*.  The bench mounts the attacker toolkit against trees
+under each disguise and reports order leakage, census-attack accuracy,
+known-plaintext multiplier recovery and edge reconstruction quality.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.attacker import (
+    key_order_correlation,
+    multiplier_recovery_attack,
+    parse_substituted_blocks,
+    range_nesting_edges,
+    rank_attack_accuracy,
+    rank_matching_attack,
+    true_edges,
+)
+from repro.analysis.metrics import edge_precision_recall
+from repro.core.enciphered_btree import EncipheredBTree
+from repro.designs.difference_sets import planar_difference_set
+from repro.substitution.identity import IdentitySubstitution
+from repro.substitution.oval import OvalSubstitution
+from repro.substitution.sums import SumSubstitution
+
+DESIGN = planar_difference_set(23)  # v = 553
+NUM_KEYS = 240
+
+
+def build(substitution):
+    tree = EncipheredBTree(substitution, block_size=512, min_degree=4)
+    universe = substitution.key_universe()
+    keys = random.Random(0xC5).sample(list(universe), NUM_KEYS)
+    for k in keys:
+        tree.insert(k, b"x")
+    return tree, keys
+
+
+def attack(tree, keys, substitution) -> dict:
+    surface = parse_substituted_blocks(
+        tree.disk, tree.codec.key_bytes, tree.codec.cryptogram_bytes
+    )
+    pairs = [(k, substitution.substitute(k)) for k in keys]
+    tau = key_order_correlation(pairs)
+    census = rank_matching_attack([d for _, d in pairs], sorted(keys))
+    census_acc = rank_attack_accuracy(census, pairs)
+    recovered_t = multiplier_recovery_attack(pairs[:4], DESIGN.v)
+    guessed = range_nesting_edges(surface)
+    precision, recall = edge_precision_recall(guessed, true_edges(tree.tree))
+    return {
+        "tau": tau,
+        "census": census_acc,
+        "multiplier": recovered_t,
+        "edge_precision": precision,
+        "edge_recall": recall,
+    }
+
+
+def test_c5_shape_security(benchmark, reporter):
+    schemes = {
+        "identity (no disguise)": IdentitySubstitution(bound=DESIGN.v),
+        "oval (t=9)": OvalSubstitution(DESIGN, t=9),
+        "sum-of-treatments": SumSubstitution(DESIGN, num_keys=DESIGN.v - 10, start_line=5),
+    }
+    results = {}
+    trees = {}
+    for name, sub in schemes.items():
+        tree, keys = build(sub)
+        trees[name] = (tree, keys, sub)
+        results[name] = attack(tree, keys, sub)
+
+    # benchmark one full attack run against the oval tree
+    tree, keys, sub = trees["oval (t=9)"]
+    benchmark(attack, tree, keys, sub)
+
+    rows = [
+        [
+            name,
+            f"{r['tau']:+.2f}",
+            f"{r['census']:.0%}",
+            r["multiplier"] if r["multiplier"] is not None else "-",
+            f"{r['edge_precision']:.0%}",
+            f"{r['edge_recall']:.0%}",
+        ]
+        for name, r in results.items()
+    ]
+    reporter.table(
+        f"attacker results over {NUM_KEYS} keys (Kerckhoffs layout knowledge, no keys)",
+        [
+            "scheme",
+            "order tau",
+            "census acc",
+            "recovered t",
+            "edge prec",
+            "edge recall",
+        ],
+        rows,
+    )
+
+    ident = results["identity (no disguise)"]
+    oval = results["oval (t=9)"]
+    sums = results["sum-of-treatments"]
+    # identity leaks everything
+    assert ident["tau"] == 1.0 and ident["census"] == 1.0
+    # oval destroys order and defeats the census and the range nesting
+    assert abs(oval["tau"]) < 0.4
+    assert oval["census"] < 0.2
+    assert oval["edge_recall"] < ident["edge_recall"]
+    # but a single known plaintext pair recovers the oval multiplier
+    assert oval["multiplier"] == 9
+    # sum substitution at low level leaks full order (the OPE trade-off)
+    assert sums["tau"] == 1.0 and sums["census"] == 1.0
+    reporter.section(
+        "verdict",
+        "the oval disguise hides order and shape from a ciphertext-only "
+        "opponent, but one known (key, substitute) pair reveals t -- the "
+        "paper's own caveat that disguising 'offers less security than "
+        "encryption'.  The order-preserving sum disguise, used at low "
+        "level, leaks order completely (use it only in the high-level "
+        "filter deployment where shape is public anyway).",
+    )

@@ -1,0 +1,102 @@
+"""C6 -- comparisons beat decryptions; secrets are tiny.
+
+§6: *"comparisons of substituted search keys is faster than decryptions"*
+and *"the main advantage of the method lies in the small amount of
+information that needs to be stored"*.  The bench times the three
+per-key-access primitives head to head and tabulates the secret material
+of every scheme, plus the scan-vs-direct ablation for the oval disguise.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.crypto.des import DES
+from repro.crypto.rsa import RSA, generate_rsa_keypair
+from repro.designs.difference_sets import planar_difference_set
+from repro.substitution.encrypted import EncryptedKeySubstitution
+from repro.substitution.exponentiation import ExponentiationSubstitution
+from repro.substitution.oval import OvalSubstitution
+from repro.substitution.sums import SumSubstitution
+
+DESIGN = planar_difference_set(23)  # v = 553
+
+
+def _time_per_op(fn, reps: int = 2000) -> float:
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - start) / reps * 1e6  # microseconds
+
+
+def test_c6_primitives_and_secrets(benchmark, reporter):
+    rng = random.Random(0xC6)
+    oval = OvalSubstitution(DESIGN, t=9)
+    oval_scan = OvalSubstitution(DESIGN, t=9, mode="scan")
+    sums = SumSubstitution(DESIGN, num_keys=500)
+    rsa = RSA(generate_rsa_keypair(bits=256, rng=rng))
+    des = DES(b"\x01\x23\x45\x67\x89\xab\xcd\xef")
+    encrypted = EncryptedKeySubstitution(rsa, key_bound=DESIGN.v)
+
+    key = 417
+    cryptogram = rsa.encrypt_int(key)
+    block = des.encrypt_block(b"triplet!")
+
+    micro = {
+        "oval inversion (k' * t^-1 mod v)": _time_per_op(lambda: oval.invert(321)),
+        "sum inversion (binary search)": _time_per_op(lambda: sums.invert(sums.substitute(123))),
+        "DES triplet decryption": _time_per_op(lambda: des.decrypt_block(block)),
+        "RSA-256 key decryption": _time_per_op(
+            lambda: rsa.decrypt_int(cryptogram), reps=400
+        ),
+    }
+    benchmark(oval.invert, 321)
+
+    reporter.table(
+        "per-access primitive cost (measured, microseconds)",
+        ["primitive", "us/op"],
+        [[name, f"{cost:.2f}"] for name, cost in micro.items()],
+    )
+    assert micro["oval inversion (k' * t^-1 mod v)"] < micro["DES triplet decryption"]
+    assert micro["oval inversion (k' * t^-1 mod v)"] < micro["RSA-256 key decryption"]
+
+    # scan-vs-direct ablation: the paper's literal line scan costs O(v*k)
+    scan_cost = _time_per_op(lambda: oval_scan.substitute(417), reps=200)
+    direct_cost = _time_per_op(lambda: oval.substitute(417))
+    reporter.table(
+        "ablation: oval substitution, paper's literal scan vs direct arithmetic",
+        ["mode", "us/op", "lines generated for key 417"],
+        [
+            ["scan (paper's procedure)", f"{scan_cost:.2f}", oval.scan_lines_needed(417)],
+            ["direct (k*t mod v)", f"{direct_cost:.2f}", 0],
+        ],
+    )
+    assert direct_cost < scan_cost
+
+    # secret-material inventory
+    exp = ExponentiationSubstitution(DESIGN, t=9, g=2, n_modulus=563)
+    schemes = {
+        "oval": oval,
+        "exponentiation": exp,
+        "sum-of-treatments": sums,
+        "encrypted keys (RSA-256)": encrypted,
+    }
+    rows = []
+    for name, scheme in schemes.items():
+        secret = scheme.secret_material()
+        rows.append([name, len(secret), scheme.secret_size_bytes(), ", ".join(secret)])
+    reporter.table(
+        "secret material per scheme (v = 553 design)",
+        ["scheme", "items", "bytes", "contents"],
+        rows,
+    )
+    assert oval.secret_size_bytes() < encrypted.secret_size_bytes()
+    assert exp.secret_size_bytes() < encrypted.secret_size_bytes()
+    reporter.section(
+        "verdict",
+        "design secrets are tens of bytes (smartcard-sized, no conversion "
+        "tables); RSA key material is several times larger.  Disguise "
+        "inversions run 1-2 orders of magnitude faster than decryptions, "
+        "matching §6's speed claim.",
+    )

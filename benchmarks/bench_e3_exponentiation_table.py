@@ -1,0 +1,53 @@
+"""E3 -- the §4.2 exponentiation table: g = 7, N = 13 over (13,4,1).
+
+Figure 2's table lists each line's treatments as powers 7^e and the
+corresponding oval treatments 7^(7e mod 13).  We regenerate the exponent
+pairs and the resulting key substitution, and record the collision the
+configuration hides (g^0 = g^12 = 1).
+"""
+
+from __future__ import annotations
+
+from repro.designs.difference_sets import PAPER_DIFFERENCE_SET
+from repro.substitution.exponentiation import ExponentiationSubstitution
+
+
+def build_substitution_map() -> dict[int, int]:
+    sub = ExponentiationSubstitution(PAPER_DIFFERENCE_SET, t=7, g=7, n_modulus=13)
+    return {k: sub.substitute(k) for k in range(1, 13)}
+
+
+def test_e3_exponentiation_table(benchmark, reporter):
+    mapping = benchmark(build_substitution_map)
+
+    sub = ExponentiationSubstitution(PAPER_DIFFERENCE_SET, t=7, g=7, n_modulus=13)
+    rows = []
+    for y in range(13):
+        line = PAPER_DIFFERENCE_SET.line(y)
+        line_cell = " ".join(f"7^{e}" for e in line)
+        oval_cell = " ".join(f"7^{e * 7 % 13}" for e in line)
+        rows.append([y, line_cell, "->", oval_cell])
+    reporter.table(
+        "treatments as exponents of g = 7 modulo N = 13 (paper Figure 2 table)",
+        ["y", "line exponents", "", "oval exponents"],
+        rows,
+    )
+
+    key_rows = [
+        [k, f"7^{sub.canonical_exponent(k)}", mapping[k]] for k in range(1, 13)
+    ]
+    reporter.table(
+        "resulting key substitution k -> k'",
+        ["key k", "as power", "substitute k'"],
+        key_rows,
+    )
+
+    assert mapping[1] == mapping[2] == 1
+    assert not sub.is_injective()
+    reporter.section(
+        "reproduction finding",
+        "with N = v = 13 the treatments 0 and 12 both encode key 1 "
+        "(7^0 = 7^12 = 1 mod 13), so keys 1 and 2 share the substitute 1: "
+        "the paper's own example parameters are not injective.  Choosing "
+        "N > v (sparse universe) or checking is_injective() avoids this.",
+    )

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Scenario: one index, four clearances (the paper's §5 extension).
+
+An intelligence-style document store: every document is indexed in one
+enciphered B-Tree, but each record carries a security level.  Level keys
+form the RSA one-way chain of Hardjono & Seberry (ACSC 1989): a level-2
+analyst stores a single chain element and derives the keys of levels 2
+and 3 on demand -- levels 0 and 1 stay cryptographically out of reach.
+
+Run:  python examples/multilevel_clearance.py
+"""
+
+from __future__ import annotations
+
+from repro import OvalSubstitution, planar_difference_set
+from repro.core.multilevel_store import MultilevelEncipheredBTree
+from repro.exceptions import ClearanceError
+
+LEVEL_NAMES = ["TOP SECRET", "SECRET", "CONFIDENTIAL", "UNCLASSIFIED"]
+
+
+def main() -> None:
+    design = planar_difference_set(13)
+    tree = MultilevelEncipheredBTree(
+        OvalSubstitution(design, t=5), levels=4, block_size=512
+    )
+
+    documents = [
+        (101, 0, b"launch codes review"),
+        (102, 3, b"cafeteria menu, week 23"),
+        (103, 1, b"agent roster, region 7"),
+        (104, 2, b"procurement summary"),
+        (105, 3, b"visitor parking map"),
+        (106, 0, b"cipher rotation schedule"),
+        (107, 2, b"training calendar"),
+    ]
+    for doc_id, level, body in documents:
+        tree.insert(doc_id, body, level=level)
+    print(f"stored {len(documents)} documents at 4 levels in one index\n")
+
+    print("secret a user must carry: one chain element "
+          f"({tree.key_scheme.secret_size_bytes(0)} bytes), any clearance\n")
+
+    for clearance in range(4):
+        readable = tree.range_search(100, 110, clearance=clearance, skip_denied=True)
+        ids = [doc_id for doc_id, _ in readable]
+        print(f"clearance {clearance} ({LEVEL_NAMES[clearance]:>12}): "
+              f"reads documents {ids}")
+
+    print()
+    try:
+        tree.search(101, clearance=3)
+    except ClearanceError as exc:
+        print(f"unclassified user opening doc 101 -> {exc}")
+
+    # the index itself is shared: existence and ordering are visible to
+    # all clearances (the paper levels the *data*, not the index)
+    print("\nindex metadata visible to every clearance:")
+    for doc_id, level, _ in documents:
+        print(f"  doc {doc_id}: level {tree.level_of(doc_id)} "
+              f"({LEVEL_NAMES[tree.level_of(doc_id)]})")
+
+
+if __name__ == "__main__":
+    main()

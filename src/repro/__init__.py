@@ -1,0 +1,80 @@
+"""repro -- reproduction of Hardjono & Seberry, VLDB 1990.
+
+*Search Key Substitution in the Encipherment of B-Trees* proposes
+disguising B-Tree search keys with combinatorial block designs -- instead
+of encrypting them -- while tree and data pointers stay encrypted.  The
+result: one decryption per node visited instead of ``log2(n)``, smaller
+triplets, and (with the order-preserving sum-of-treatments disguise)
+range queries through an untrusted DBMS.
+
+Quickstart::
+
+    from repro import EncipheredBTree, OvalSubstitution, planar_difference_set
+
+    design = planar_difference_set(9)          # v = 91 keys
+    tree = EncipheredBTree(OvalSubstitution(design, t=2))
+    tree.insert(41, b"records stay encrypted at rest")
+    assert tree.search(41) == b"records stay encrypted at rest"
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import (
+    BayerMetzgerBTree,
+    EncipheredBTree,
+    EncipheredDatabase,
+    MultilevelEncipheredBTree,
+    PlainBTreeSystem,
+    SecurityFilter,
+    TraversalCost,
+)
+from repro.designs import (
+    PAPER_DIFFERENCE_SET,
+    BlockDesign,
+    DifferenceSet,
+    ProjectivePlane,
+    non_multiplier_units,
+    oval_table,
+    planar_difference_set,
+    singer_difference_set,
+)
+from repro.exceptions import ReproError
+from repro.substitution import (
+    EncryptedKeySubstitution,
+    ExponentiationSubstitution,
+    IdentitySubstitution,
+    KeySubstitution,
+    OvalSubstitution,
+    RankedSumSubstitution,
+    SumSubstitution,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BayerMetzgerBTree",
+    "BlockDesign",
+    "DifferenceSet",
+    "EncipheredBTree",
+    "EncipheredDatabase",
+    "EncryptedKeySubstitution",
+    "ExponentiationSubstitution",
+    "IdentitySubstitution",
+    "KeySubstitution",
+    "MultilevelEncipheredBTree",
+    "OvalSubstitution",
+    "PAPER_DIFFERENCE_SET",
+    "PlainBTreeSystem",
+    "ProjectivePlane",
+    "RankedSumSubstitution",
+    "ReproError",
+    "SecurityFilter",
+    "SumSubstitution",
+    "TraversalCost",
+    "non_multiplier_units",
+    "oval_table",
+    "planar_difference_set",
+    "singer_difference_set",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Opponent-side analysis: what the raw disk blocks give away.
+
+The paper's central security claim is that disguised keys plus encrypted
+pointers *"prevent the opponent or attacker from recreating the correct
+shape of the B-Tree"*.  This package plays the opponent:
+
+* :mod:`repro.analysis.attacker` -- parses the at-rest blocks the way an
+  opponent with full layout knowledge (Kerckhoffs) but no keys would, and
+  mounts the natural attacks: key-order inference, rank matching against
+  a known key universe, linear multiplier recovery from known plaintext,
+  and parent/child edge guessing;
+* :mod:`repro.analysis.metrics` -- the yardsticks: Kendall rank
+  correlation, byte entropy, edge precision/recall.
+"""
+
+from repro.analysis.attacker import (
+    AttackSurface,
+    ParsedBlock,
+    edge_recovery_by_sequence,
+    key_order_correlation,
+    multiplier_recovery_attack,
+    parse_substituted_blocks,
+    range_nesting_edges,
+    rank_matching_attack,
+)
+from repro.analysis.metrics import (
+    byte_entropy,
+    edge_precision_recall,
+    kendall_tau,
+    normalized_inversions,
+)
+
+__all__ = [
+    "AttackSurface",
+    "ParsedBlock",
+    "byte_entropy",
+    "edge_precision_recall",
+    "edge_recovery_by_sequence",
+    "kendall_tau",
+    "key_order_correlation",
+    "multiplier_recovery_attack",
+    "normalized_inversions",
+    "parse_substituted_blocks",
+    "range_nesting_edges",
+    "rank_matching_attack",
+]

@@ -1,0 +1,253 @@
+"""The opponent's toolkit.
+
+Threat model (the paper's, made precise): the opponent has *"access only
+to the B-Tree representation on a sequential set of disk blocks"*, knows
+the on-disk layout (Kerckhoffs' principle -- widths of every field), but
+holds no cryptographic keys and no block-design secrets.  Under the
+Hardjono--Seberry layout this means the opponent can read, per block:
+the node header, the *disguised* keys, and the opaque pointer
+cryptograms.
+
+Attacks implemented:
+
+* :func:`key_order_correlation` -- does sorting disguised keys reveal the
+  plaintext order?  (It does, completely, for the order-preserving sum
+  disguise -- the classic OPE leakage -- and not at all for oval or
+  exponentiation disguises.)
+* :func:`rank_matching_attack` -- full key recovery when the opponent
+  knows the plaintext key *set* (census attack on order-preserving
+  disguises).
+* :func:`multiplier_recovery_attack` -- the oval disguise is linear, so a
+  single known (key, substitute) pair with invertible key recovers ``t``
+  and with it every key: the paper's warning that disguising *"offers
+  less security than encryption"*, demonstrated.
+* :func:`edge_recovery_by_sequence` / :func:`range_nesting_edges` --
+  attempts to recreate the tree shape from block order or from key-range
+  containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+
+from repro.analysis.metrics import kendall_tau
+from repro.btree.codec import HEADER_BYTES
+from repro.crypto.numbers import modinv
+from repro.exceptions import ReproError
+from repro.storage.disk import SimulatedDisk
+
+
+@dataclass(frozen=True)
+class ParsedBlock:
+    """What the opponent extracts from one node block at rest."""
+
+    block_id: int
+    is_leaf: bool
+    num_keys: int
+    disguised_keys: tuple[int, ...]
+    cryptograms: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class AttackSurface:
+    """Everything the opponent managed to parse from the disk."""
+
+    blocks: tuple[ParsedBlock, ...]
+
+    @property
+    def all_disguised_keys(self) -> list[int]:
+        return [k for b in self.blocks for k in b.disguised_keys]
+
+    def internal_blocks(self) -> list[ParsedBlock]:
+        return [b for b in self.blocks if not b.is_leaf]
+
+    def leaf_blocks(self) -> list[ParsedBlock]:
+        return [b for b in self.blocks if b.is_leaf]
+
+
+def parse_substituted_blocks(
+    disk: SimulatedDisk,
+    key_bytes: int,
+    cryptogram_bytes: int,
+) -> AttackSurface:
+    """Parse every block on the platter as a Hardjono--Seberry node.
+
+    Blocks that do not parse (data blocks, enciphered-header baselines)
+    are skipped -- the opponent cannot even tell how many triplets they
+    hold.
+    """
+    parsed = []
+    for block_id, data in disk.raw_blocks():
+        if len(data) < HEADER_BYTES or data[0] not in (0, 1):
+            continue
+        is_leaf = bool(data[0])
+        n = int.from_bytes(data[1:3], "big")
+        crypt_count = n if is_leaf else n + 1
+        expected = HEADER_BYTES + n * key_bytes + crypt_count * cryptogram_bytes
+        if n == 0 or len(data) != expected:
+            continue
+        offset = HEADER_BYTES
+        keys = tuple(
+            int.from_bytes(data[offset + i * key_bytes : offset + (i + 1) * key_bytes], "big")
+            for i in range(n)
+        )
+        offset += n * key_bytes
+        cryptograms = tuple(
+            int.from_bytes(
+                data[offset + i * cryptogram_bytes : offset + (i + 1) * cryptogram_bytes],
+                "big",
+            )
+            for i in range(crypt_count)
+        )
+        parsed.append(
+            ParsedBlock(
+                block_id=block_id,
+                is_leaf=is_leaf,
+                num_keys=n,
+                disguised_keys=keys,
+                cryptograms=cryptograms,
+            )
+        )
+    return AttackSurface(blocks=tuple(parsed))
+
+
+# ---------------------------------------------------------------------------
+# Order and value attacks on the disguised keys.
+# ---------------------------------------------------------------------------
+
+
+def key_order_correlation(pairs: list[tuple[int, int]]) -> float:
+    """Kendall tau between plaintext keys and their disguises.
+
+    ``pairs`` are ``(plaintext, disguised)``; the experimenter supplies
+    them from ground truth.  |tau| near 1 means sorting the at-rest keys
+    reveals the plaintext order.
+    """
+    if len(pairs) < 2:
+        raise ReproError("need at least two pairs")
+    return kendall_tau([p for p, _ in pairs], [d for _, d in pairs])
+
+
+def rank_matching_attack(
+    disguised_keys: list[int], known_universe: list[int]
+) -> dict[int, int]:
+    """Census attack: match disguise ranks against a known key set.
+
+    If the opponent knows exactly which plaintext keys are in the
+    database (e.g. employee numbers 0..R-1), and suspects the disguise is
+    order-preserving, matching the i-th smallest disguise to the i-th
+    smallest known key recovers a full candidate mapping.  The caller
+    scores it against ground truth.
+    """
+    if len(disguised_keys) != len(known_universe):
+        raise ReproError(
+            f"census sizes differ: {len(disguised_keys)} disguises, "
+            f"{len(known_universe)} known keys"
+        )
+    return {
+        disguised: plain
+        for disguised, plain in zip(sorted(disguised_keys), sorted(known_universe))
+    }
+
+
+def rank_attack_accuracy(
+    mapping: dict[int, int], truth: list[tuple[int, int]]
+) -> float:
+    """Fraction of ``(plaintext, disguised)`` pairs the mapping gets right."""
+    if not truth:
+        raise ReproError("no ground truth supplied")
+    hits = sum(1 for plain, disguised in truth if mapping.get(disguised) == plain)
+    return hits / len(truth)
+
+
+def multiplier_recovery_attack(
+    known_pairs: list[tuple[int, int]], v: int
+) -> int | None:
+    """Recover the oval multiplier ``t`` from known plaintext.
+
+    The oval disguise is ``k' = k*t mod v``: one pair with ``gcd(k,v)=1``
+    gives ``t = k' * k^{-1} mod v``; remaining pairs confirm.  Returns the
+    recovered multiplier, or ``None`` if no consistent ``t`` exists (i.e.
+    the disguise is not a single modular multiplication).
+    """
+    candidate: int | None = None
+    for plain, disguised in known_pairs:
+        if gcd(plain % v, v) != 1:
+            continue
+        candidate = disguised * modinv(plain, v) % v
+        break
+    if candidate is None:
+        return None
+    for plain, disguised in known_pairs:
+        if plain * candidate % v != disguised % v:
+            return None
+    return candidate
+
+
+# ---------------------------------------------------------------------------
+# Shape reconstruction.
+# ---------------------------------------------------------------------------
+
+
+def edge_recovery_by_sequence(surface: AttackSurface, fanout_guess: int) -> set[tuple[int, int]]:
+    """Guess edges assuming breadth-first sequential block allocation.
+
+    The naive heuristic an opponent tries first: block 0 is the root and
+    children were allocated consecutively.  Against a tree grown by
+    random inserts (splits allocate out of order) this collapses.
+    """
+    ids = [b.block_id for b in surface.blocks]
+    edges: set[tuple[int, int]] = set()
+    for position, parent in enumerate(ids):
+        for j in range(fanout_guess):
+            child_position = position * fanout_guess + 1 + j
+            if child_position < len(ids):
+                edges.add((parent, ids[child_position]))
+    return edges
+
+
+def range_nesting_edges(surface: AttackSurface) -> set[tuple[int, int]]:
+    """Guess edges by nesting disguised-key ranges.
+
+    Valid reasoning *if* the disguise preserves order: a child's key range
+    fits strictly inside a gap between consecutive keys of its parent.
+    For each candidate (parent, child) pair the opponent checks whether
+    the child's [min, max] fits in some gap of the parent; among multiple
+    candidate parents the tightest gap wins.  Against non-order-preserving
+    disguises the ranges nest essentially at random.
+    """
+    internals = surface.internal_blocks()
+    edges: set[tuple[int, int]] = set()
+    for child in surface.blocks:
+        lo, hi = min(child.disguised_keys), max(child.disguised_keys)
+        best: tuple[int, int] | None = None  # (gap width, parent id)
+        for parent in internals:
+            if parent.block_id == child.block_id:
+                continue
+            bounds = [-1, *sorted(parent.disguised_keys), None]
+            for left, right in zip(bounds, bounds[1:]):
+                right_bound = float("inf") if right is None else right
+                if left < lo and hi < right_bound:
+                    width = int(right_bound - left) if right is not None else 1 << 62
+                    if best is None or width < best[0]:
+                        best = (width, parent.block_id)
+                    break
+        if best is not None:
+            edges.add((best[1], child.block_id))
+    return edges
+
+
+def true_edges(tree) -> set[tuple[int, int]]:
+    """Ground-truth parent->child edges of a live tree (experimenter side)."""
+    edges: set[tuple[int, int]] = set()
+    frontier = [tree.root_id]
+    while frontier:
+        node_id = frontier.pop()
+        view = tree._view(node_id)
+        if not view.is_leaf:
+            for i in range(view.num_keys + 1):
+                child = view.child_at(i)
+                edges.add((node_id, child))
+                frontier.append(child)
+    return edges

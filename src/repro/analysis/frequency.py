@@ -1,0 +1,135 @@
+"""Block-level distinguishability analysis.
+
+Bayer and Metzger's stated goal is that *"the opponent or attacker cannot
+distinguish one block from the next"*; the Hardjono--Seberry layout
+deliberately gives up part of that (headers and disguised keys are
+plaintext) in exchange for traversal speed.  This module quantifies the
+trade: per-block byte entropy, chi-square distance of byte distributions,
+and a naive classifier that tries to tell node blocks from data blocks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.metrics import byte_entropy
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class BlockProfile:
+    """Summary statistics of one at-rest block."""
+
+    block_id: int
+    size: int
+    entropy: float
+    zero_fraction: float
+    ascii_fraction: float
+
+
+def profile_block(block_id: int, data: bytes) -> BlockProfile:
+    """Compute the distinguishing statistics of one block."""
+    if not data:
+        raise ReproError(f"block {block_id} is empty")
+    zero = data.count(0) / len(data)
+    ascii_printable = sum(1 for b in data if 0x20 <= b < 0x7F) / len(data)
+    return BlockProfile(
+        block_id=block_id,
+        size=len(data),
+        entropy=byte_entropy(data),
+        zero_fraction=zero,
+        ascii_fraction=ascii_printable,
+    )
+
+
+def profile_disk(disk) -> list[BlockProfile]:
+    """Profile every written block of a simulated disk."""
+    return [profile_block(block_id, data) for block_id, data in disk.raw_blocks()]
+
+
+def chi_square_distance(a: bytes, b: bytes) -> float:
+    """Chi-square distance between two blocks' byte distributions.
+
+    Near zero for two samples of the same distribution (e.g. two
+    well-enciphered blocks); large when the distributions differ (a
+    structured block against an enciphered one).
+    """
+    if not a or not b:
+        raise ReproError("cannot compare empty blocks")
+    counts_a = Counter(a)
+    counts_b = Counter(b)
+    total = 0.0
+    for byte in set(counts_a) | set(counts_b):
+        pa = counts_a.get(byte, 0) / len(a)
+        pb = counts_b.get(byte, 0) / len(b)
+        if pa + pb:
+            total += (pa - pb) ** 2 / (pa + pb)
+    return total / 2.0
+
+
+def mean_pairwise_distance(blocks: list[bytes], limit: int = 30) -> float:
+    """Mean chi-square distance over block pairs (sampled up to limit)."""
+    sample = blocks[:limit]
+    if len(sample) < 2:
+        raise ReproError("need at least two blocks")
+    total = 0.0
+    pairs = 0
+    for i in range(len(sample)):
+        for j in range(i + 1, len(sample)):
+            total += chi_square_distance(sample[i], sample[j])
+            pairs += 1
+    return total / pairs
+
+
+def classify_blocks_by_entropy(
+    profiles: list[BlockProfile], threshold: float = 7.0
+) -> dict[int, str]:
+    """The opponent's naive classifier: low entropy => structured node
+    block, high entropy => enciphered block.
+
+    Against a fully enciphered layout everything lands in one class
+    (indistinguishable); against the Hardjono--Seberry layout the
+    plaintext key arrays pull node blocks below the threshold.
+    """
+    return {
+        p.block_id: ("structured" if p.entropy < threshold else "enciphered")
+        for p in profiles
+    }
+
+
+def distinguishability_report(node_disk, data_disk) -> dict[str, float]:
+    """How well a byte-level feature separates node from data blocks.
+
+    Shannon entropy of short blocks is biased by sample size (a 100-byte
+    block cannot reach 8 bits/byte even if perfectly random), so the
+    classifier feature is the *zero-byte fraction*: structured layouts
+    store many small big-endian integers whose leading bytes are zero,
+    while ciphertext holds zeros at ~1/256.  Returns the classifier's
+    accuracy against ground truth (0.5 is chance for balanced classes;
+    1.0 means the layouts are trivially distinguishable) plus the class
+    means of both features.
+    """
+    node_profiles = profile_disk(node_disk)
+    data_profiles = profile_disk(data_disk)
+    if not node_profiles or not data_profiles:
+        raise ReproError("both disks must hold written blocks")
+    labelled = [(p, "node") for p in node_profiles] + [
+        (p, "data") for p in data_profiles
+    ]
+    node_zero = sum(p.zero_fraction for p in node_profiles) / len(node_profiles)
+    data_zero = sum(p.zero_fraction for p in data_profiles) / len(data_profiles)
+    threshold = (node_zero + data_zero) / 2
+    node_side_is_high = node_zero >= data_zero
+    correct = 0
+    for profile, label in labelled:
+        is_high = profile.zero_fraction >= threshold
+        guess = "node" if is_high == node_side_is_high else "data"
+        correct += guess == label
+    return {
+        "accuracy": correct / len(labelled),
+        "node_zero_fraction": node_zero,
+        "data_zero_fraction": data_zero,
+        "node_entropy": sum(p.entropy for p in node_profiles) / len(node_profiles),
+        "data_entropy": sum(p.entropy for p in data_profiles) / len(data_profiles),
+    }

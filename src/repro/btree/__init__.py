@@ -1,0 +1,26 @@
+"""A disk-based B-Tree (Bayer & McCreight 1972) over the simulated disk.
+
+Nodes hold the paper's triplets ``(search key, data pointer, tree
+pointer)``: a node with ``n`` keys stores ``n`` data pointers and, when
+internal, ``n + 1`` tree pointers.  The tree is parameterised by a
+*node codec* that controls how a node is laid out in its block --
+plaintext, disguised-key + encrypted-pointer (the paper's scheme), or
+per-page-key encrypted (the Bayer--Metzger baseline) -- so all the
+experiments share one set of structural mechanics.
+"""
+
+from repro.btree.node import Node
+from repro.btree.codec import NodeCodec, NodeView, PlainNodeCodec, PlainNodeView
+from repro.btree.tree import BTree
+from repro.btree.stats import TreeShape, tree_shape
+
+__all__ = [
+    "BTree",
+    "Node",
+    "NodeCodec",
+    "NodeView",
+    "PlainNodeCodec",
+    "PlainNodeView",
+    "TreeShape",
+    "tree_shape",
+]

@@ -1,0 +1,69 @@
+"""ASCII rendering of B-Trees, for the Figure 1/2/3 reproductions.
+
+The paper's figures show a small B-Tree before and after search-key
+substitution.  :func:`render_tree` draws the node contents level by
+level; :func:`render_side_by_side` pairs a plaintext rendering with its
+substituted twin the way the figures do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.btree.tree import BTree
+
+
+def _levels_of(tree: BTree) -> list[list[list[int]]]:
+    """Key lists of every node, grouped by level, left to right."""
+    levels: list[list[list[int]]] = []
+    frontier = [(tree.root_id, 0)]
+    while frontier:
+        node_id, depth = frontier.pop(0)
+        view = tree._view(node_id)
+        while len(levels) <= depth:
+            levels.append([])
+        levels[depth].append([view.key_at(i) for i in range(view.num_keys)])
+        if not view.is_leaf:
+            frontier.extend(
+                (view.child_at(i), depth + 1) for i in range(view.num_keys + 1)
+            )
+    return levels
+
+
+def render_tree(
+    tree: BTree,
+    key_format: Callable[[int], str] = str,
+    title: str | None = None,
+) -> str:
+    """Render node key-lists level by level, centred like the figures.
+
+    ``key_format`` lets callers show disguised keys (e.g. format the
+    stored substitute next to the plaintext).
+    """
+    levels = _levels_of(tree)
+    rows = []
+    for level in levels:
+        rows.append("   ".join("[" + " ".join(key_format(k) for k in node) + "]" for node in level))
+    width = max((len(r) for r in rows), default=0)
+    lines = [row.center(width) for row in rows]
+    if title:
+        lines.insert(0, title.center(width))
+    return "\n".join(lines)
+
+
+def render_substituted(tree: BTree, substitute: Callable[[int], int], title: str | None = None) -> str:
+    """Render the tree as it appears on disk: keys through the disguise."""
+    return render_tree(tree, key_format=lambda k: str(substitute(k)), title=title)
+
+
+def render_side_by_side(before: str, after: str, gap: int = 6) -> str:
+    """Two renderings side by side, 'before' and 'after' substitution."""
+    left_lines = before.splitlines()
+    right_lines = after.splitlines()
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    left_width = max((len(l) for l in left_lines), default=0)
+    return "\n".join(
+        f"{l.ljust(left_width)}{' ' * gap}{r}" for l, r in zip(left_lines, right_lines)
+    )

@@ -1,0 +1,74 @@
+"""Tree-shape extraction.
+
+The paper's security argument is about *shape*: the opponent must not be
+able to *"recreate the correct shape of the B-Tree"*.  To compare shapes
+-- between the true tree and an attacker's reconstruction, or between a
+plaintext tree and its order-preserving substituted twin (Figure 3) --
+we need a canonical structural summary, independent of block numbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.btree.tree import BTree
+
+
+@dataclass(frozen=True)
+class TreeShape:
+    """A canonical, id-free description of a B-Tree's structure.
+
+    ``signature`` is a nested tuple: for a leaf, the number of keys; for
+    an internal node, a tuple ``(num_keys, child signatures...)``.  Two
+    trees have equal signatures iff they are structurally identical with
+    identical key counts everywhere -- exactly the "same shape" notion of
+    the paper's Figure 3.
+    """
+
+    height: int
+    node_count: int
+    key_count: int
+    keys_per_level: tuple[int, ...]
+    signature: tuple
+
+    @property
+    def average_fill(self) -> float:
+        """Mean keys per node."""
+        return self.key_count / self.node_count if self.node_count else 0.0
+
+
+def _signature_of(tree: BTree, node_id: int) -> tuple:
+    view = tree._view(node_id)
+    if view.is_leaf:
+        return (view.num_keys,)
+    children = tuple(
+        _signature_of(tree, view.child_at(i)) for i in range(view.num_keys + 1)
+    )
+    return (view.num_keys, *children)
+
+
+def tree_shape(tree: BTree) -> TreeShape:
+    """Extract the :class:`TreeShape` of a live tree."""
+    levels: list[int] = []
+    node_count = 0
+    key_count = 0
+    frontier = [(tree.root_id, 0)]
+    while frontier:
+        node_id, depth = frontier.pop()
+        view = tree._view(node_id)
+        while len(levels) <= depth:
+            levels.append(0)
+        levels[depth] += view.num_keys
+        node_count += 1
+        key_count += view.num_keys
+        if not view.is_leaf:
+            frontier.extend(
+                (view.child_at(i), depth + 1) for i in range(view.num_keys + 1)
+            )
+    return TreeShape(
+        height=len(levels),
+        node_count=node_count,
+        key_count=key_count,
+        keys_per_level=tuple(levels),
+        signature=_signature_of(tree, tree.root_id),
+    )

@@ -1,0 +1,481 @@
+"""Disk-based B-Tree with pluggable node codecs.
+
+The structural algorithms are the classical ones (Bayer & McCreight 1972;
+minimum-degree formulation): preemptive-split insertion, the full
+borrow/merge deletion, point search and range search.  All node access
+goes through the codec's lazy :class:`~repro.btree.codec.NodeView`, so
+whatever cryptography the codec imposes is paid exactly where the paper
+says it is paid:
+
+* *routing* (descending the tree) touches keys via ``key_at`` and one
+  tree pointer via ``child_at`` per node;
+* *mutation* (leaf updates, splits, merges) materialises whole nodes via
+  ``to_node`` and re-encodes them via ``encode``.
+
+The tree never caches plaintext nodes across operations -- the paper's
+model charges every node visit its decryption cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.btree.codec import NodeCodec, NodeView
+from repro.btree.node import Node
+from repro.exceptions import BTreeError, DuplicateKeyError, KeyNotFoundError
+from repro.storage.pager import Pager
+
+
+@dataclass
+class TreeCounters:
+    """Structural operation counts (cryptographic counts live in codecs)."""
+
+    comparisons: int = 0
+    nodes_visited: int = 0
+    splits: int = 0
+    merges: int = 0
+    borrows: int = 0
+
+    def reset(self) -> None:
+        self.comparisons = 0
+        self.nodes_visited = 0
+        self.splits = 0
+        self.merges = 0
+        self.borrows = 0
+
+
+@dataclass
+class BTree:
+    """A B-Tree of minimum degree ``t`` (max ``2t - 1`` keys per node)."""
+
+    pager: Pager
+    codec: NodeCodec
+    min_degree: int = 16
+    counters: TreeCounters = field(default_factory=TreeCounters)
+
+    def __post_init__(self) -> None:
+        if self.min_degree < 2:
+            raise BTreeError(f"minimum degree must be >= 2, got {self.min_degree}")
+        self.size = 0
+        self._free: list[int] = []
+        root = Node(node_id=self._allocate(), is_leaf=True)
+        self.root_id = root.node_id
+        self._write(root)
+
+    @classmethod
+    def attach(
+        cls,
+        pager: Pager,
+        codec: NodeCodec,
+        root_id: int,
+        min_degree: int,
+    ) -> "BTree":
+        """Reopen an existing tree from its blocks (no new root written).
+
+        The caller supplies the root block id and geometry (in a full
+        database these live in a superblock); the key count is recovered
+        by walking the tree.  Raises :class:`BTreeError` if the on-disk
+        structure fails the invariant check.
+        """
+        tree = cls.__new__(cls)
+        tree.pager = pager
+        tree.codec = codec
+        tree.min_degree = min_degree
+        tree.counters = TreeCounters()
+        tree._free = []
+        tree.root_id = root_id
+        tree.size = 0
+        tree.size = sum(1 for _ in tree.items())
+        tree.check_invariants()
+        return tree
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def max_keys(self) -> int:
+        return 2 * self.min_degree - 1
+
+    @property
+    def min_keys(self) -> int:
+        return self.min_degree - 1
+
+    def _allocate(self) -> int:
+        if self._free:
+            return self._free.pop()
+        return self.pager.allocate()
+
+    def _release(self, node_id: int) -> None:
+        self._free.append(node_id)
+        self.pager.invalidate(node_id)
+
+    def _view(self, node_id: int) -> NodeView:
+        self.counters.nodes_visited += 1
+        return self.codec.decode(node_id, self.pager.read(node_id))
+
+    def _node(self, node_id: int) -> Node:
+        return self._view(node_id).to_node()
+
+    def _write(self, node: Node) -> None:
+        self.pager.write(node.node_id, self.codec.encode(node))
+
+    # -- search ----------------------------------------------------------
+
+    def _lower_bound(self, view: NodeView, key: int) -> int:
+        """First index ``i`` with ``view.key_at(i) >= key`` (binary search).
+
+        Each *distinct* probe costs one key access; views cache decoded
+        triplets, so the probe count is the decryption count for lazy
+        codecs -- the paper's "binary search-and-decrypt".
+        """
+        lo, hi = 0, view.num_keys
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.counters.comparisons += 1
+            if view.key_at(mid) < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def search(self, key: int) -> int:
+        """Return the data pointer stored under ``key``.
+
+        Raises :class:`KeyNotFoundError` when absent.
+        """
+        node_id = self.root_id
+        while True:
+            view = self._view(node_id)
+            idx = self._lower_bound(view, key)
+            if idx < view.num_keys:
+                self.counters.comparisons += 1
+                if view.key_at(idx) == key:
+                    return view.value_at(idx)
+            if view.is_leaf:
+                raise KeyNotFoundError(key)
+            node_id = view.child_at(idx)
+
+    def contains(self, key: int) -> bool:
+        """Membership test."""
+        try:
+            self.search(key)
+        except KeyNotFoundError:
+            return False
+        return True
+
+    def range_search(self, lo: int, hi: int) -> list[tuple[int, int]]:
+        """All ``(key, data pointer)`` pairs with ``lo <= key <= hi``.
+
+        Range searches are the paper's motivating query class: they work
+        here because triplet *positions* are independent of the disguise
+        (§4.1: "we do not place triplets in node blocks based on the value
+        of the disguised search key").
+        """
+        if lo > hi:
+            return []
+        out: list[tuple[int, int]] = []
+        self._range_into(self.root_id, lo, hi, out)
+        return out
+
+    def _range_into(self, node_id: int, lo: int, hi: int, out: list[tuple[int, int]]) -> None:
+        view = self._view(node_id)
+        i = self._lower_bound(view, lo)
+        while True:
+            if not view.is_leaf:
+                self._range_into(view.child_at(i), lo, hi, out)
+            if i < view.num_keys:
+                key = view.key_at(i)
+                self.counters.comparisons += 1
+                if key <= hi:
+                    out.append((key, view.value_at(i)))
+                    i += 1
+                    continue
+            break
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """In-order iteration over every ``(key, data pointer)`` pair."""
+        yield from self._items_of(self.root_id)
+
+    def _items_of(self, node_id: int) -> Iterator[tuple[int, int]]:
+        view = self._view(node_id)
+        for i in range(view.num_keys):
+            if not view.is_leaf:
+                yield from self._items_of(view.child_at(i))
+            yield (view.key_at(i), view.value_at(i))
+        if not view.is_leaf:
+            yield from self._items_of(view.child_at(view.num_keys))
+
+    # -- insertion -------------------------------------------------------
+
+    def insert(self, key: int, value: int) -> None:
+        """Insert ``key`` with data pointer ``value``.
+
+        Raises :class:`DuplicateKeyError` if the key is present.
+        """
+        root_view = self._view(self.root_id)
+        if root_view.num_keys == self.max_keys:
+            old_root = root_view.to_node()
+            new_root = Node(
+                node_id=self._allocate(), is_leaf=False, children=[old_root.node_id]
+            )
+            self._split_child(new_root, 0, old_root)
+            self.root_id = new_root.node_id
+        self._insert_nonfull(self.root_id, key, value)
+        self.size += 1
+
+    def _insert_nonfull(self, node_id: int, key: int, value: int) -> None:
+        while True:
+            view = self._view(node_id)
+            idx = self._lower_bound(view, key)
+            if idx < view.num_keys:
+                self.counters.comparisons += 1
+                if view.key_at(idx) == key:
+                    raise DuplicateKeyError(key)
+            if view.is_leaf:
+                node = view.to_node()
+                node.keys.insert(idx, key)
+                node.values.insert(idx, value)
+                self._write(node)
+                return
+            child_id = view.child_at(idx)
+            child_view = self._view(child_id)
+            if child_view.num_keys == self.max_keys:
+                parent = view.to_node()
+                self._split_child(parent, idx, child_view.to_node())
+                separator = parent.keys[idx]
+                if key == separator:
+                    raise DuplicateKeyError(key)
+                child_id = parent.children[idx + 1] if key > separator else parent.children[idx]
+            node_id = child_id
+
+    def _split_child(self, parent: Node, idx: int, child: Node) -> None:
+        """Split a full ``child`` around its median into two siblings.
+
+        The sibling occupies a fresh block -- the event §3 worries about,
+        since under per-page keys every migrated triplet must be
+        re-enciphered under the new block's key.
+        """
+        t = self.min_degree
+        sibling = Node(node_id=self._allocate(), is_leaf=child.is_leaf)
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        if not child.is_leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        median_key = child.keys[t - 1]
+        median_value = child.values[t - 1]
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        parent.keys.insert(idx, median_key)
+        parent.values.insert(idx, median_value)
+        parent.children.insert(idx + 1, sibling.node_id)
+        self.counters.splits += 1
+        self._write(child)
+        self._write(sibling)
+        self._write(parent)
+
+    # -- deletion --------------------------------------------------------
+
+    def delete(self, key: int) -> None:
+        """Remove ``key``.  Raises :class:`KeyNotFoundError` when absent."""
+        self._delete_from(self.root_id, key)
+        root = self._node(self.root_id)
+        if root.num_keys == 0 and not root.is_leaf:
+            old_root_id = self.root_id
+            self.root_id = root.children[0]
+            self._release(old_root_id)
+        self.size -= 1
+
+    def _delete_from(self, node_id: int, key: int) -> None:
+        node = self._node(node_id)
+        idx = self._find_index(node, key)
+        if idx < node.num_keys and node.keys[idx] == key:
+            if node.is_leaf:
+                node.keys.pop(idx)
+                node.values.pop(idx)
+                self._write(node)
+            else:
+                self._delete_internal(node, idx, key)
+        else:
+            if node.is_leaf:
+                raise KeyNotFoundError(key)
+            idx = self._ensure_child_capacity(node, idx, key)
+            self._delete_from(node.children[idx], key)
+
+    def _find_index(self, node: Node, key: int) -> int:
+        import bisect
+
+        self.counters.comparisons += max(1, node.num_keys.bit_length())
+        return bisect.bisect_left(node.keys, key)
+
+    def _delete_internal(self, node: Node, idx: int, key: int) -> None:
+        """Delete ``key == node.keys[idx]`` from an internal node (CLRS)."""
+        t = self.min_degree
+        left_id = node.children[idx]
+        right_id = node.children[idx + 1]
+        left = self._node(left_id)
+        if left.num_keys >= t:
+            pred_key, pred_value = self._max_pair(left_id)
+            node.keys[idx] = pred_key
+            node.values[idx] = pred_value
+            self._write(node)
+            self._delete_from(left_id, pred_key)
+            return
+        right = self._node(right_id)
+        if right.num_keys >= t:
+            succ_key, succ_value = self._min_pair(right_id)
+            node.keys[idx] = succ_key
+            node.values[idx] = succ_value
+            self._write(node)
+            self._delete_from(right_id, succ_key)
+            return
+        self._merge_children(node, idx, left, right)
+        self._delete_from(left_id, key)
+
+    def _max_pair(self, node_id: int) -> tuple[int, int]:
+        while True:
+            view = self._view(node_id)
+            if view.is_leaf:
+                last = view.num_keys - 1
+                return view.key_at(last), view.value_at(last)
+            node_id = view.child_at(view.num_keys)
+
+    def _min_pair(self, node_id: int) -> tuple[int, int]:
+        while True:
+            view = self._view(node_id)
+            if view.is_leaf:
+                return view.key_at(0), view.value_at(0)
+            node_id = view.child_at(0)
+
+    def _merge_children(self, parent: Node, idx: int, left: Node, right: Node) -> None:
+        """Fold ``parent.keys[idx]`` and the right sibling into ``left``."""
+        left.keys.append(parent.keys.pop(idx))
+        left.values.append(parent.values.pop(idx))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+        parent.children.pop(idx + 1)
+        self.counters.merges += 1
+        self._write(left)
+        self._write(parent)
+        self._release(right.node_id)
+
+    def _ensure_child_capacity(self, node: Node, idx: int, key: int) -> int:
+        """Guarantee ``node.children[idx]`` has at least ``t`` keys.
+
+        Borrows from a rich sibling or merges with a poor one; returns the
+        (possibly shifted) child index to descend into.
+        """
+        t = self.min_degree
+        child = self._node(node.children[idx])
+        if child.num_keys >= t:
+            return idx
+        left_sibling = self._node(node.children[idx - 1]) if idx > 0 else None
+        if left_sibling is not None and left_sibling.num_keys >= t:
+            # rotate right: separator moves down, sibling max moves up
+            child.keys.insert(0, node.keys[idx - 1])
+            child.values.insert(0, node.values[idx - 1])
+            node.keys[idx - 1] = left_sibling.keys.pop()
+            node.values[idx - 1] = left_sibling.values.pop()
+            if not child.is_leaf:
+                child.children.insert(0, left_sibling.children.pop())
+            self.counters.borrows += 1
+            self._write(left_sibling)
+            self._write(child)
+            self._write(node)
+            return idx
+        right_sibling = (
+            self._node(node.children[idx + 1]) if idx < node.num_keys else None
+        )
+        if right_sibling is not None and right_sibling.num_keys >= t:
+            # rotate left: separator moves down, sibling min moves up
+            child.keys.append(node.keys[idx])
+            child.values.append(node.values[idx])
+            node.keys[idx] = right_sibling.keys.pop(0)
+            node.values[idx] = right_sibling.values.pop(0)
+            if not child.is_leaf:
+                child.children.append(right_sibling.children.pop(0))
+            self.counters.borrows += 1
+            self._write(right_sibling)
+            self._write(child)
+            self._write(node)
+            return idx
+        if left_sibling is not None:
+            self._merge_children(node, idx - 1, left_sibling, child)
+            return idx - 1
+        assert right_sibling is not None  # a non-root node has a sibling
+        self._merge_children(node, idx, child, right_sibling)
+        return idx
+
+    # -- structure inspection ----------------------------------------------
+
+    def height(self) -> int:
+        """Number of node levels (1 for a lone leaf root)."""
+        levels = 1
+        node_id = self.root_id
+        while True:
+            view = self._view(node_id)
+            if view.is_leaf:
+                return levels
+            node_id = view.child_at(0)
+            levels += 1
+
+    def node_ids(self) -> list[int]:
+        """Every live node block id, in BFS order from the root."""
+        out = []
+        frontier = [self.root_id]
+        while frontier:
+            node_id = frontier.pop(0)
+            out.append(node_id)
+            view = self._view(node_id)
+            if not view.is_leaf:
+                frontier.extend(view.child_at(i) for i in range(view.num_keys + 1))
+        return out
+
+    def check_invariants(self) -> None:
+        """Verify every B-Tree invariant; raises :class:`BTreeError`.
+
+        Checks key ordering and separation, occupancy bounds, child
+        counts, uniform leaf depth and the recorded size.
+        """
+        leaf_depths: set[int] = set()
+        count = self._check_subtree(self.root_id, None, None, 0, leaf_depths, True)
+        if len(leaf_depths) > 1:
+            raise BTreeError(f"leaves at multiple depths: {sorted(leaf_depths)}")
+        if count != self.size:
+            raise BTreeError(f"size {self.size} != counted keys {count}")
+
+    def _check_subtree(
+        self,
+        node_id: int,
+        lo: int | None,
+        hi: int | None,
+        depth: int,
+        leaf_depths: set[int],
+        is_root: bool,
+    ) -> int:
+        node = self._node(node_id)
+        node.check()
+        if not is_root and node.num_keys < self.min_keys:
+            raise BTreeError(
+                f"node {node_id} underfull: {node.num_keys} < {self.min_keys}"
+            )
+        if node.num_keys > self.max_keys:
+            raise BTreeError(
+                f"node {node_id} overfull: {node.num_keys} > {self.max_keys}"
+            )
+        for key in node.keys:
+            if (lo is not None and key <= lo) or (hi is not None and key >= hi):
+                raise BTreeError(
+                    f"key {key} in node {node_id} violates bounds ({lo}, {hi})"
+                )
+        if node.is_leaf:
+            leaf_depths.add(depth)
+            return node.num_keys
+        count = node.num_keys
+        bounds = [lo, *node.keys, hi]
+        for i, child_id in enumerate(node.children):
+            count += self._check_subtree(
+                child_id, bounds[i], bounds[i + 1], depth + 1, leaf_depths, False
+            )
+        return count

@@ -1,0 +1,45 @@
+"""The paper's systems, assembled from the substrates.
+
+* :class:`~repro.core.enciphered_btree.EncipheredBTree` -- the
+  Hardjono--Seberry scheme: node blocks store ``[f(k), E(b || a || p)]``
+  triplets; keys are disguised, both pointers ride in one cryptogram
+  bound to the block number.
+* :class:`~repro.core.bayer_metzger.BayerMetzgerBTree` -- the baseline:
+  every triplet enciphered under a per-page key derived from the page id
+  (lazy "binary search-and-decrypt" or whole-page decryption).
+* :class:`~repro.core.security_filter.SecurityFilter` -- the §4.3
+  deployment: an order-preserving disguise plus record encryption and
+  cryptographic checksums, retrofitted *in front of* an unmodified DBMS.
+"""
+
+from repro.core.codecs import (
+    PageKeyNodeCodec,
+    SubstitutedNodeCodec,
+    WholePageNodeCodec,
+)
+from repro.core.database import EncipheredDatabase
+from repro.core.records import RecordStore
+from repro.core.enciphered_btree import EncipheredBTree, TraversalCost
+from repro.core.bayer_metzger import BayerMetzgerBTree
+from repro.core.multilevel_store import (
+    MultilevelEncipheredBTree,
+    MultilevelRecordStore,
+)
+from repro.core.plain import PlainBTreeSystem
+from repro.core.security_filter import SecurityFilter, SealedRecord
+
+__all__ = [
+    "BayerMetzgerBTree",
+    "EncipheredBTree",
+    "EncipheredDatabase",
+    "MultilevelEncipheredBTree",
+    "MultilevelRecordStore",
+    "PageKeyNodeCodec",
+    "PlainBTreeSystem",
+    "RecordStore",
+    "SealedRecord",
+    "SecurityFilter",
+    "SubstitutedNodeCodec",
+    "TraversalCost",
+    "WholePageNodeCodec",
+]

@@ -1,0 +1,467 @@
+"""Enciphered node codecs: the paper's layout and the baseline's.
+
+Both codecs return *lazy* views, so the cost of reading a node is exactly
+the cost of the fields the traversal touches:
+
+* :class:`SubstitutedNodeCodec` (Hardjono--Seberry, §3/§4): stored keys
+  are disguises ``f(k)`` -- inverting one is arithmetic, not decryption --
+  and each triplet's pointers live in one cryptogram ``E(b || a || p)``.
+  Navigating a node costs zero decryptions for the keys and exactly one
+  decryption for the chosen pointer.
+* :class:`PageKeyNodeCodec` (Bayer--Metzger, §2): every triplet (key and
+  pointers together) is enciphered under the page key derived from the
+  block id.  Even *looking at* a key costs a decryption, so binary search
+  pays ``~log2(n)`` triplet decryptions per node -- the cost the paper
+  sets out to remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.btree.codec import (
+    HEADER_BYTES,
+    PlainNodeCodec,
+    PlainNodeView,
+    decode_header,
+    encode_header,
+)
+from repro.btree.node import Node
+from repro.core.packing import PointerPacking
+from repro.crypto.base import CryptoOpCounts, IntegerCipher
+from repro.crypto.des import DES
+from repro.crypto.pagekey import PageKeyScheme
+from repro.exceptions import CodecError, IntegrityError
+from repro.storage.layout import bytes_for_value
+from repro.substitution.base import KeySubstitution
+
+
+# ---------------------------------------------------------------------------
+# Hardjono--Seberry layout: [f(k) ...][E(b||a||p) ...][E(b||0||p_extra)]
+# ---------------------------------------------------------------------------
+
+
+class SubstitutedNodeCodec:
+    """The paper's node layout: disguised keys, one cryptogram per triplet.
+
+    Parameters
+    ----------
+    substitution:
+        The key disguise ``f`` (any :class:`KeySubstitution`).
+    pointer_cipher:
+        Integer cipher for the packed pointer pairs; its modulus must
+        exceed ``packing.required_modulus()``.  Wrap it in a
+        :class:`~repro.crypto.base.CountingCipher` to meter experiments.
+    packing:
+        Bit widths of the ``b || a || p`` packing.
+    extra_pointer_mode:
+        How the unaccompanied tree pointer (the one without a key and
+        data pointer) is protected.  ``"encrypt"`` (default, secure)
+        packs it into a cryptogram like every other pointer.
+        ``"disguise"`` follows the paper's literal sentence -- *"should
+        simply be disguised through the function f"* -- passing the block
+        id through the key disguise.  The ablation exists to measure what
+        that sentence costs: the disguised pointer reveals one true edge
+        per node to anyone who breaks the (weak) disguise, and it only
+        works while block ids stay inside the disguise's key universe.
+    """
+
+    _EXTRA_MODES = ("encrypt", "disguise")
+
+    def __init__(
+        self,
+        substitution: KeySubstitution,
+        pointer_cipher: IntegerCipher,
+        packing: PointerPacking | None = None,
+        extra_pointer_mode: str = "encrypt",
+    ) -> None:
+        if extra_pointer_mode not in self._EXTRA_MODES:
+            raise CodecError(
+                f"extra_pointer_mode must be one of {self._EXTRA_MODES}, "
+                f"got {extra_pointer_mode!r}"
+            )
+        self.substitution = substitution
+        self.cipher = pointer_cipher
+        self.packing = packing or PointerPacking()
+        self.extra_pointer_mode = extra_pointer_mode
+        if pointer_cipher.modulus < self.packing.required_modulus():
+            raise CodecError(
+                f"cipher modulus {pointer_cipher.modulus.bit_length()} bits cannot "
+                f"carry {self.packing.total_bits}-bit packed pointers"
+            )
+        self.key_bytes = bytes_for_value(substitution.max_substitute())
+        self.cryptogram_bytes = bytes_for_value(pointer_cipher.modulus - 1)
+
+    # -- encode ----------------------------------------------------------
+
+    def encode(self, node: Node) -> bytes:
+        node.check()
+        out = encode_header(node)
+        for key in node.keys:
+            out.extend(self.substitution.substitute(key).to_bytes(self.key_bytes, "big"))
+        for i, value in enumerate(node.values):
+            tree_ptr = None if node.is_leaf else node.children[i]
+            packed = self.packing.pack(node.node_id, value, tree_ptr)
+            out.extend(
+                self.cipher.encrypt_int(packed).to_bytes(self.cryptogram_bytes, "big")
+            )
+        if not node.is_leaf:
+            if self.extra_pointer_mode == "disguise":
+                disguised = self.substitution.substitute(node.children[-1])
+                out.extend(disguised.to_bytes(self.key_bytes, "big"))
+            else:
+                packed = self.packing.pack(node.node_id, None, node.children[-1])
+                out.extend(
+                    self.cipher.encrypt_int(packed).to_bytes(self.cryptogram_bytes, "big")
+                )
+        return bytes(out)
+
+    def decode(self, node_id: int, data: bytes) -> "SubstitutedNodeView":
+        return SubstitutedNodeView(self, node_id, data)
+
+    def node_overhead_bytes(self, num_keys: int, is_leaf: bool) -> int:
+        size = HEADER_BYTES + num_keys * (self.key_bytes + self.cryptogram_bytes)
+        if not is_leaf:
+            size += (
+                self.key_bytes
+                if self.extra_pointer_mode == "disguise"
+                else self.cryptogram_bytes
+            )
+        return size
+
+
+class SubstitutedNodeView:
+    """Lazy reader over the Hardjono--Seberry layout.
+
+    Key access performs a disguise inversion (cheap arithmetic, counted by
+    the substitution's counters); pointer access decrypts the relevant
+    cryptogram once and caches it for the lifetime of the view.
+    """
+
+    def __init__(self, codec: SubstitutedNodeCodec, node_id: int, data: bytes) -> None:
+        self._codec = codec
+        self._data = data
+        self.node_id = node_id
+        self.is_leaf, self.num_keys = decode_header(data)
+        self._keys_off = HEADER_BYTES
+        self._crypt_off = self._keys_off + self.num_keys * codec.key_bytes
+        expected = codec.node_overhead_bytes(self.num_keys, self.is_leaf)
+        if len(data) < expected:
+            raise CodecError(
+                f"node {node_id}: {len(data)} bytes, layout needs {expected}"
+            )
+        self._key_cache: dict[int, int] = {}
+        self._triplet_cache: dict[int, tuple[int | None, int | None]] = {}
+
+    # -- keys ------------------------------------------------------------
+
+    def stored_key_at(self, i: int) -> int:
+        if not 0 <= i < self.num_keys:
+            raise CodecError(f"key index {i} out of range")
+        start = self._keys_off + i * self._codec.key_bytes
+        return int.from_bytes(self._data[start : start + self._codec.key_bytes], "big")
+
+    def key_at(self, i: int) -> int:
+        cached = self._key_cache.get(i)
+        if cached is None:
+            cached = self._codec.substitution.invert(self.stored_key_at(i))
+            self._key_cache[i] = cached
+        return cached
+
+    # -- pointers ----------------------------------------------------------
+
+    def _triplet(self, i: int) -> tuple[int | None, int | None]:
+        """Decrypt cryptogram ``i`` (0..num_keys-1 triplets, num_keys=extra)."""
+        cached = self._triplet_cache.get(i)
+        if cached is not None:
+            return cached
+        width = self._codec.cryptogram_bytes
+        start = self._crypt_off + i * width
+        cryptogram = int.from_bytes(self._data[start : start + width], "big")
+        block_id, data_ptr, tree_ptr = self._codec.packing.unpack(
+            self._codec.cipher.decrypt_int(cryptogram)
+        )
+        if block_id != self.node_id:
+            raise IntegrityError(
+                f"cryptogram bound to block {block_id} read from block {self.node_id}"
+            )
+        self._triplet_cache[i] = (data_ptr, tree_ptr)
+        return (data_ptr, tree_ptr)
+
+    def value_at(self, i: int) -> int:
+        if not 0 <= i < self.num_keys:
+            raise CodecError(f"value index {i} out of range")
+        data_ptr, _ = self._triplet(i)
+        if data_ptr is None:
+            raise CodecError(f"triplet {i} of node {self.node_id} has no data pointer")
+        return data_ptr
+
+    def child_at(self, i: int) -> int:
+        if self.is_leaf:
+            raise CodecError(f"leaf {self.node_id} has no children")
+        if not 0 <= i <= self.num_keys:
+            raise CodecError(f"child index {i} out of range")
+        if i == self.num_keys and self._codec.extra_pointer_mode == "disguise":
+            return self._disguised_extra_pointer()
+        _, tree_ptr = self._triplet(i)
+        if tree_ptr is None:
+            raise CodecError(f"triplet {i} of node {self.node_id} has no tree pointer")
+        return tree_ptr
+
+    def _disguised_extra_pointer(self) -> int:
+        """§3 ablation: the unaccompanied pointer went through ``f``."""
+        width = self._codec.key_bytes
+        start = self._crypt_off + self.num_keys * self._codec.cryptogram_bytes
+        stored = int.from_bytes(self._data[start : start + width], "big")
+        return self._codec.substitution.invert(stored)
+
+    def to_node(self) -> Node:
+        keys = [self.key_at(i) for i in range(self.num_keys)]
+        values = [self.value_at(i) for i in range(self.num_keys)]
+        children: list[int] = []
+        if not self.is_leaf:
+            children = [self.child_at(i) for i in range(self.num_keys + 1)]
+        return Node(
+            node_id=self.node_id,
+            is_leaf=self.is_leaf,
+            keys=keys,
+            values=values,
+            children=children,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Bayer--Metzger layout: per-page key, every triplet fully enciphered.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TripletOpCounts:
+    """Triplet-granularity cipher operations (the paper's cost unit)."""
+
+    encryptions: int = 0
+    decryptions: int = 0
+
+    def reset(self) -> None:
+        self.encryptions = 0
+        self.decryptions = 0
+
+
+class PageKeyNodeCodec:
+    """Baseline layout: ``T(k_i || a_i || p_i, K_Pi)`` per triplet.
+
+    The page key ``K_Pi`` is derived from the block id via the
+    Bayer--Metzger scheme, so the ciphertext of a triplet is bound to its
+    page implicitly: the same triplet re-encrypted in a different block
+    yields different bytes, and moving a triplet forces decrypt +
+    re-encrypt (the §3 reorganisation overhead).
+
+    The node header is enciphered too (the whole page is ciphertext on
+    disk); decoding pays one block decryption up front, then one triplet
+    decryption per *distinct* key/pointer access.
+    """
+
+    def __init__(
+        self,
+        scheme: PageKeyScheme,
+        key_bytes: int = 8,
+        pointer_bytes: int = 4,
+    ) -> None:
+        self.scheme = scheme
+        self.key_bytes = key_bytes
+        self.pointer_bytes = pointer_bytes
+        self.triplet_counts = TripletOpCounts()
+        self.block_counts = CryptoOpCounts()
+        plain = key_bytes + 2 * pointer_bytes
+        self.triplet_blocks = (plain + 7) // 8
+        self.triplet_cipher_bytes = 8 * self.triplet_blocks
+
+    # -- per-page cipher -----------------------------------------------------
+
+    def _page_des(self, node_id: int) -> DES:
+        return DES(self.scheme.derive_page_key(node_id).key)
+
+    def _encrypt_chunk(self, des: DES, plain: bytes) -> bytes:
+        if len(plain) % 8:
+            plain = plain + b"\x00" * (8 - len(plain) % 8)
+        out = bytearray()
+        for start in range(0, len(plain), 8):
+            out.extend(des.encrypt_block(plain[start : start + 8]))
+            self.block_counts.encryptions += 1
+        return bytes(out)
+
+    def _decrypt_chunk(self, des: DES, cipher: bytes) -> bytes:
+        out = bytearray()
+        for start in range(0, len(cipher), 8):
+            out.extend(des.decrypt_block(cipher[start : start + 8]))
+            self.block_counts.decryptions += 1
+        return bytes(out)
+
+    # -- triplet serialisation -------------------------------------------
+
+    def _pack_triplet(self, key: int, value: int | None, child: int | None) -> bytes:
+        out = bytearray()
+        out.extend(key.to_bytes(self.key_bytes, "big"))
+        out.extend((0 if value is None else value + 1).to_bytes(self.pointer_bytes, "big"))
+        out.extend((0 if child is None else child + 1).to_bytes(self.pointer_bytes, "big"))
+        return bytes(out)
+
+    def _unpack_triplet(self, data: bytes) -> tuple[int, int | None, int | None]:
+        key = int.from_bytes(data[: self.key_bytes], "big")
+        off = self.key_bytes
+        a = int.from_bytes(data[off : off + self.pointer_bytes], "big")
+        off += self.pointer_bytes
+        p = int.from_bytes(data[off : off + self.pointer_bytes], "big")
+        return key, (a - 1 if a else None), (p - 1 if p else None)
+
+    # -- codec API ---------------------------------------------------------
+
+    def encode(self, node: Node) -> bytes:
+        node.check()
+        des = self._page_des(node.node_id)
+        out = bytearray(self._encrypt_chunk(des, bytes(encode_header(node))))
+        for i, (key, value) in enumerate(zip(node.keys, node.values)):
+            child = None if node.is_leaf else node.children[i]
+            out.extend(self._encrypt_chunk(des, self._pack_triplet(key, value, child)))
+            self.triplet_counts.encryptions += 1
+        if not node.is_leaf:
+            out.extend(
+                self._encrypt_chunk(des, self._pack_triplet(0, None, node.children[-1]))
+            )
+            self.triplet_counts.encryptions += 1
+        return bytes(out)
+
+    def decode(self, node_id: int, data: bytes) -> "PageKeyNodeView":
+        return PageKeyNodeView(self, node_id, data)
+
+    def node_overhead_bytes(self, num_keys: int, is_leaf: bool) -> int:
+        size = 8  # enciphered header block
+        size += num_keys * self.triplet_cipher_bytes
+        if not is_leaf:
+            size += self.triplet_cipher_bytes
+        return size
+
+
+class PageKeyNodeView:
+    """Lazy binary-search-and-decrypt reader over the baseline layout."""
+
+    def __init__(self, codec: PageKeyNodeCodec, node_id: int, data: bytes) -> None:
+        self._codec = codec
+        self._data = data
+        self.node_id = node_id
+        self._des = codec._page_des(node_id)
+        header = codec._decrypt_chunk(self._des, data[:8])
+        self.is_leaf, self.num_keys = decode_header(header[:HEADER_BYTES])
+        self._cache: dict[int, tuple[int, int | None, int | None]] = {}
+
+    def _triplet(self, i: int) -> tuple[int, int | None, int | None]:
+        cached = self._cache.get(i)
+        if cached is not None:
+            return cached
+        width = self._codec.triplet_cipher_bytes
+        start = 8 + i * width
+        if start + width > len(self._data):
+            raise CodecError(f"triplet {i} beyond node {self.node_id} bounds")
+        plain = self._codec._decrypt_chunk(self._des, self._data[start : start + width])
+        self._codec.triplet_counts.decryptions += 1
+        triplet = self._codec._unpack_triplet(plain)
+        self._cache[i] = triplet
+        return triplet
+
+    def key_at(self, i: int) -> int:
+        if not 0 <= i < self.num_keys:
+            raise CodecError(f"key index {i} out of range")
+        return self._triplet(i)[0]
+
+    def stored_key_at(self, i: int) -> int:
+        """The at-rest form is ciphertext; expose the raw bytes as an int."""
+        width = self._codec.triplet_cipher_bytes
+        start = 8 + i * width
+        return int.from_bytes(self._data[start : start + width], "big")
+
+    def value_at(self, i: int) -> int:
+        if not 0 <= i < self.num_keys:
+            raise CodecError(f"value index {i} out of range")
+        value = self._triplet(i)[1]
+        if value is None:
+            raise CodecError(f"triplet {i} of node {self.node_id} has no data pointer")
+        return value
+
+    def child_at(self, i: int) -> int:
+        if self.is_leaf:
+            raise CodecError(f"leaf {self.node_id} has no children")
+        if not 0 <= i <= self.num_keys:
+            raise CodecError(f"child index {i} out of range")
+        child = self._triplet(i)[2]
+        if child is None:
+            raise CodecError(f"triplet {i} of node {self.node_id} has no tree pointer")
+        return child
+
+    def to_node(self) -> Node:
+        keys = [self.key_at(i) for i in range(self.num_keys)]
+        values = [self.value_at(i) for i in range(self.num_keys)]
+        children: list[int] = []
+        if not self.is_leaf:
+            children = [self.child_at(i) for i in range(self.num_keys + 1)]
+        return Node(
+            node_id=self.node_id,
+            is_leaf=self.is_leaf,
+            keys=keys,
+            values=values,
+            children=children,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Bayer--Metzger whole-page layout: C = T(M, K_Pi) over the entire node.
+# ---------------------------------------------------------------------------
+
+
+class WholePageNodeCodec:
+    """Baseline ablation: the whole node is one ciphertext.
+
+    The simplest reading of Bayer & Metzger's ``C_Pi = T(M_Pi, K_Pi)``:
+    serialise the node in the plain layout and encipher the entire page
+    under the page key.  Any access -- even a single key probe -- pays a
+    full-page decryption, so the per-visit cost is the node's block count
+    rather than the probe count.  Experiment A1 compares this against the
+    lazy per-triplet layout.
+
+    Cost accounting: ``triplet_counts`` tallies whole triplets carried
+    through the cipher (all of them, on every encode/decode) and
+    ``block_counts`` the underlying cipher blocks, so the facade's
+    snapshots stay comparable across layouts.
+    """
+
+    def __init__(
+        self,
+        scheme: PageKeyScheme,
+        key_bytes: int = 8,
+        pointer_bytes: int = 4,
+    ) -> None:
+        self.scheme = scheme
+        self.inner = PlainNodeCodec(key_bytes=key_bytes, pointer_bytes=pointer_bytes)
+        self.key_bytes = key_bytes
+        self.pointer_bytes = pointer_bytes
+        self.triplet_counts = TripletOpCounts()
+        self.block_counts = CryptoOpCounts()
+
+    def encode(self, node: Node) -> bytes:
+        plain = self.inner.encode(node)
+        ciphertext = self.scheme.encrypt_page(node.node_id, plain)
+        self.triplet_counts.encryptions += node.num_keys + (0 if node.is_leaf else 1)
+        self.block_counts.encryptions += (len(ciphertext) + 7) // 8
+        return ciphertext
+
+    def decode(self, node_id: int, data: bytes) -> PlainNodeView:
+        plain = self.scheme.decrypt_page(node_id, data)
+        view = self.inner.decode(node_id, plain)
+        self.triplet_counts.decryptions += view.num_keys + (0 if view.is_leaf else 1)
+        self.block_counts.decryptions += (len(data) + 7) // 8
+        return view
+
+    def node_overhead_bytes(self, num_keys: int, is_leaf: bool) -> int:
+        plain = self.inner.node_overhead_bytes(num_keys, is_leaf)
+        if self.scheme.mode == "progressive":
+            return plain  # length-preserving
+        return (plain // 8 + 1) * 8  # PKCS#7 always appends 1..8 bytes

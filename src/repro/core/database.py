@@ -1,0 +1,165 @@
+"""A self-contained enciphered database: superblock + index + records.
+
+The bare :class:`~repro.core.enciphered_btree.EncipheredBTree` keeps its
+root id and geometry in Python attributes; a real deployment must survive
+a restart from the platter alone.  :class:`EncipheredDatabase` adds the
+missing piece: **block 0 is a superblock** holding the root id, the
+minimum degree and the key count, enciphered under the file key like any
+other block (an opponent cannot even read the geometry), plus a magic tag
+that authenticates the deciphering key.
+
+``create`` builds a fresh database; ``reopen`` reconstructs a working
+handle from the two disks and the secret material alone, verifying the
+B-Tree invariants on the way up.
+"""
+
+from __future__ import annotations
+
+from repro.btree.tree import BTree
+from repro.core.codecs import SubstitutedNodeCodec
+from repro.core.packing import PointerPacking
+from repro.core.records import RecordStore
+from repro.crypto.base import CountingCipher, IntegerCipher
+from repro.crypto.des import DES
+from repro.crypto.modes import CBCCipher
+from repro.exceptions import IntegrityError, StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import Pager
+from repro.substitution.base import KeySubstitution
+
+_MAGIC = b"HSBT1990"
+
+
+class EncipheredDatabase:
+    """Durable facade: everything needed to reopen lives on the disks."""
+
+    def __init__(
+        self,
+        substitution: KeySubstitution,
+        pointer_cipher: IntegerCipher,
+        disk: SimulatedDisk,
+        records: RecordStore,
+        super_key: bytes,
+        tree: BTree,
+    ) -> None:
+        self.substitution = substitution
+        self.pointer_cipher = (
+            pointer_cipher
+            if isinstance(pointer_cipher, CountingCipher)
+            else CountingCipher(pointer_cipher)
+        )
+        self.disk = disk
+        self.records = records
+        self._super_key = super_key
+        self.tree = tree
+
+    # -- superblock ------------------------------------------------------
+
+    @staticmethod
+    def _super_cipher(super_key: bytes) -> CBCCipher:
+        des = DES(super_key)
+        iv = des.encrypt_block(b"SUPERBLK")
+        return CBCCipher(des, iv)
+
+    def _write_superblock(self) -> None:
+        payload = (
+            _MAGIC
+            + self.tree.root_id.to_bytes(4, "big")
+            + self.tree.min_degree.to_bytes(2, "big")
+            + self.tree.size.to_bytes(4, "big")
+        )
+        self.disk.write_block(0, self._super_cipher(self._super_key).encrypt(payload))
+
+    @classmethod
+    def _read_superblock(cls, disk: SimulatedDisk, super_key: bytes) -> tuple[int, int, int]:
+        try:
+            payload = cls._super_cipher(super_key).decrypt(disk.read_block(0))
+        except Exception as exc:
+            raise IntegrityError(f"superblock does not decipher: {exc}") from exc
+        if payload[:8] != _MAGIC:
+            raise IntegrityError("superblock magic mismatch: wrong file key?")
+        root_id = int.from_bytes(payload[8:12], "big")
+        min_degree = int.from_bytes(payload[12:14], "big")
+        size = int.from_bytes(payload[14:18], "big")
+        return root_id, min_degree, size
+
+    # -- lifecycle -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        substitution: KeySubstitution,
+        pointer_cipher: IntegerCipher,
+        *,
+        block_size: int = 512,
+        min_degree: int = 4,
+        super_key: bytes = b"\x5b\xad\xc0\xde\x5b\xad\xc0\xde",
+        data_key: bytes = b"\x13\x34\x57\x79\x9b\xbc\xdf\xf1",
+        record_size: int = 120,
+        cache_blocks: int = 16,
+    ) -> "EncipheredDatabase":
+        """Initialise a fresh database (block 0 reserved for the superblock)."""
+        disk = SimulatedDisk(block_size=block_size)
+        reserved = disk.allocate()
+        if reserved != 0:
+            raise StorageError("superblock must be block 0")
+        counting = CountingCipher(pointer_cipher)
+        codec = SubstitutedNodeCodec(substitution, counting, PointerPacking())
+        pager = Pager(disk, cache_blocks=cache_blocks)
+        tree = BTree(pager=pager, codec=codec, min_degree=min_degree)
+        records = RecordStore(data_key, record_size=record_size, block_size=block_size)
+        db = cls(substitution, counting, disk, records, super_key, tree)
+        db._write_superblock()
+        return db
+
+    @classmethod
+    def reopen(
+        cls,
+        substitution: KeySubstitution,
+        pointer_cipher: IntegerCipher,
+        disk: SimulatedDisk,
+        records: RecordStore,
+        *,
+        super_key: bytes = b"\x5b\xad\xc0\xde\x5b\xad\xc0\xde",
+        cache_blocks: int = 16,
+    ) -> "EncipheredDatabase":
+        """Rebuild a handle from the platter and the secrets alone."""
+        root_id, min_degree, size = cls._read_superblock(disk, super_key)
+        counting = CountingCipher(pointer_cipher)
+        codec = SubstitutedNodeCodec(substitution, counting, PointerPacking())
+        pager = Pager(disk, cache_blocks=cache_blocks)
+        tree = BTree.attach(pager, codec, root_id, min_degree=min_degree)
+        if tree.size != size:
+            raise IntegrityError(
+                f"superblock records {size} keys, tree holds {tree.size}"
+            )
+        return cls(substitution, counting, disk, records, super_key, tree)
+
+    # -- record operations (superblock kept current) -----------------------
+
+    def insert(self, key: int, record: bytes) -> None:
+        record_id = self.records.put(record)
+        try:
+            self.tree.insert(key, record_id)
+        except Exception:
+            self.records.delete(record_id)
+            raise
+        self._write_superblock()
+
+    def search(self, key: int) -> bytes:
+        return self.records.get(self.tree.search(key))
+
+    def delete(self, key: int) -> None:
+        record_id = self.tree.search(key)
+        self.tree.delete(key)
+        self.records.delete(record_id)
+        self._write_superblock()
+
+    def range_search(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
+        return [
+            (key, self.records.get(record_id))
+            for key, record_id in self.tree.range_search(lo, hi)
+        ]
+
+    def __len__(self) -> int:
+        return self.tree.size

@@ -1,0 +1,148 @@
+"""Encrypted data blocks: where the actual records live.
+
+§5: *"The encryption algorithm used for the encryption of data blocks can
+be different and independent to that used for the tree and data pointers
+in the node blocks."*  The record store therefore owns its own simulated
+disk with its own cipher at the I/O boundary, entirely independent of the
+node-block machinery.  Compromise of the node blocks yields only the
+*locations* of data blocks, never their contents.
+
+Records are stored in fixed-size slots (several per block); the *data
+pointer* ``a`` stored in node triplets is the slot's global index.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.des import DES
+from repro.crypto.modes import CBCCipher
+from repro.exceptions import StorageError
+from repro.storage.disk import SimulatedDisk
+
+
+class _RecordBlockTransform:
+    """DES-CBC at the data-block boundary, IV derived from the block id."""
+
+    def __init__(self, key: bytes) -> None:
+        self._des = DES(key)
+
+    def _cipher(self, block_id: int) -> CBCCipher:
+        iv = self._des.encrypt_block((block_id ^ 0xA5A5A5A5).to_bytes(8, "big"))
+        return CBCCipher(self._des, iv)
+
+    def on_write(self, block_id: int, data: bytes) -> bytes:
+        return self._cipher(block_id).encrypt(data)
+
+    def on_read(self, block_id: int, data: bytes) -> bytes:
+        return self._cipher(block_id).decrypt(data)
+
+
+class RecordStore:
+    """Slotted, enciphered record storage.
+
+    Parameters
+    ----------
+    data_key:
+        8-byte key for the data-block cipher (independent of node keys).
+    record_size:
+        Slot payload capacity; records longer than this are rejected.
+    block_size:
+        Data-block size; determines slots per block.
+    """
+
+    def __init__(
+        self,
+        data_key: bytes,
+        record_size: int = 120,
+        block_size: int = 4096,
+    ) -> None:
+        slot = record_size + 2  # 2-byte length prefix
+        # CBC pads up to a full cipher block; leave room for it.
+        usable = block_size - 8
+        self.slots_per_block = usable // slot
+        if self.slots_per_block < 1:
+            raise StorageError(
+                f"record size {record_size} too large for {block_size}-byte blocks"
+            )
+        self.record_size = record_size
+        self.slot_size = slot
+        self.disk = SimulatedDisk(
+            block_size=block_size, transform=_RecordBlockTransform(data_key)
+        )
+        self._open_block: int | None = None
+        self._open_slots: list[bytes] = []
+        self._free: list[int] = []
+        self.count = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def _flush_open(self) -> None:
+        assert self._open_block is not None
+        payload = b"".join(self._open_slots)
+        self.disk.write_block(self._open_block, payload)
+
+    def _locate(self, record_id: int) -> tuple[int, int]:
+        block_index, slot = divmod(record_id, self.slots_per_block)
+        if block_index >= self.disk.num_blocks:
+            raise StorageError(f"record id {record_id} beyond store")
+        return block_index, slot
+
+    def _encode_slot(self, record: bytes) -> bytes:
+        if len(record) > self.record_size:
+            raise StorageError(
+                f"record of {len(record)} bytes exceeds slot of {self.record_size}"
+            )
+        return len(record).to_bytes(2, "big") + record.ljust(self.record_size, b"\x00")
+
+    # -- public API ------------------------------------------------------
+
+    def put(self, record: bytes) -> int:
+        """Store a record, returning its data pointer (slot index)."""
+        if self._free:
+            record_id = self._free.pop()
+            block_index, slot = self._locate(record_id)
+            slots = self._read_slots(block_index)
+            slots[slot] = self._encode_slot(record)
+            self.disk.write_block(block_index, b"".join(slots))
+            if block_index == self._open_block:
+                self._open_slots[slot] = slots[slot]
+            self.count += 1
+            return record_id
+        if self._open_block is None or len(self._open_slots) == self.slots_per_block:
+            self._open_block = self.disk.allocate()
+            self._open_slots = []
+        self._open_slots.append(self._encode_slot(record))
+        self._flush_open()
+        self.count += 1
+        return self._open_block * self.slots_per_block + len(self._open_slots) - 1
+
+    def _read_slots(self, block_index: int) -> list[bytes]:
+        data = self.disk.read_block(block_index)
+        return [
+            data[i : i + self.slot_size]
+            for i in range(0, len(data), self.slot_size)
+        ]
+
+    def get(self, record_id: int) -> bytes:
+        """Fetch and decipher the record at ``record_id``."""
+        block_index, slot = self._locate(record_id)
+        slots = self._read_slots(block_index)
+        if slot >= len(slots):
+            raise StorageError(f"record id {record_id} names an empty slot")
+        raw = slots[slot]
+        length = int.from_bytes(raw[:2], "big")
+        if length > self.record_size:
+            raise StorageError(f"record id {record_id} slot is free or corrupt")
+        return raw[2 : 2 + length]
+
+    def delete(self, record_id: int) -> None:
+        """Free a slot (its bytes are overwritten with an empty marker)."""
+        block_index, slot = self._locate(record_id)
+        slots = self._read_slots(block_index)
+        if slot >= len(slots):
+            raise StorageError(f"record id {record_id} names an empty slot")
+        slots[slot] = b"\xff\xff" + b"\x00" * self.record_size
+        self.disk.write_block(block_index, b"".join(slots))
+        if block_index == self._open_block:
+            self._open_slots[slot] = slots[slot]
+        self._free.append(record_id)
+        self.count -= 1

@@ -1,0 +1,155 @@
+"""§4.3's deployment: a high-level security filter over an untrusted DBMS.
+
+*"One advantage of the summation of the treatments is that it can be used
+for the substitution of search keys in high-level Security Filters or
+front-ends retrofitted onto commercial 'off-the-shelf' database
+management systems, which usually provide no access to low-level record
+routines."*
+
+The filter sits between the user and a :class:`PlainBTreeSystem` (our
+stand-in for the commercial DBMS).  On the way in, for each record it:
+
+1. substitutes the search key with the order-preserving sum-of-treatments
+   disguise (so the DBMS's B-Tree takes the *same shape* it would with
+   plaintext keys -- Figure 3);
+2. encrypts the record payload under the filter's data key;
+3. computes a cryptographic checksum (Denning) over the *substituted*
+   search-key field and the encrypted payload, exactly as §4.3 describes
+   the plaintext search field being included in the checksum.
+
+On the way out it verifies the checksum, decrypts, and un-substitutes.
+Because the disguise preserves order, *range queries pass straight
+through*: the filter substitutes the endpoints and forwards the range to
+the oblivious DBMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plain import PlainBTreeSystem
+from repro.crypto.checksum import CryptographicChecksum
+from repro.crypto.des import DES
+from repro.crypto.modes import CBCCipher
+from repro.exceptions import IntegrityError, KeyError_
+from repro.substitution.sums import SumSubstitution
+
+
+@dataclass(frozen=True)
+class SealedRecord:
+    """What the untrusted DBMS actually stores for one record."""
+
+    substituted_key: int
+    ciphertext: bytes
+    checksum: bytes
+
+    def to_bytes(self) -> bytes:
+        return (
+            self.substituted_key.to_bytes(8, "big")
+            + len(self.ciphertext).to_bytes(2, "big")
+            + self.ciphertext
+            + self.checksum
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SealedRecord":
+        key = int.from_bytes(data[:8], "big")
+        length = int.from_bytes(data[8:10], "big")
+        ciphertext = data[10 : 10 + length]
+        checksum = data[10 + length : 10 + length + 8]
+        return cls(substituted_key=key, ciphertext=ciphertext, checksum=checksum)
+
+
+class SecurityFilter:
+    """Order-preserving encryption front-end for an unmodified DBMS."""
+
+    def __init__(
+        self,
+        substitution: SumSubstitution,
+        dbms: PlainBTreeSystem | None = None,
+        *,
+        data_key: bytes = b"\x0f\x1e\x2d\x3c\x4b\x5a\x69\x78",
+        mac_key: bytes = b"\x31\x41\x59\x26\x53\x58\x97\x93",
+        record_size: int = 160,
+    ) -> None:
+        if not substitution.order_preserving:
+            raise KeyError_(
+                "the security filter requires an order-preserving disguise"
+            )
+        self.substitution = substitution
+        # explicit None check: an empty DBMS is len() == 0 and hence falsy
+        self.dbms = dbms if dbms is not None else PlainBTreeSystem(record_size=record_size)
+        self._des = DES(data_key)
+        self._mac = CryptographicChecksum(mac_key)
+
+    # -- sealing ---------------------------------------------------------
+
+    def _cipher(self, substituted_key: int) -> CBCCipher:
+        iv = self._des.encrypt_block((substituted_key ^ 0x0F0F0F0F).to_bytes(8, "big"))
+        return CBCCipher(self._des, iv)
+
+    def seal(self, key: int, payload: bytes) -> SealedRecord:
+        """Substitute, encrypt and checksum one record."""
+        substituted = self.substitution.substitute(key)
+        ciphertext = self._cipher(substituted).encrypt(payload)
+        checksum = self._mac.compute(
+            {
+                "search_field": substituted.to_bytes(8, "big"),
+                "payload": ciphertext,
+            }
+        )
+        return SealedRecord(substituted, ciphertext, checksum)
+
+    def unseal(self, sealed: SealedRecord) -> tuple[int, bytes]:
+        """Verify, decrypt and un-substitute one record."""
+        self._mac.verify(
+            {
+                "search_field": sealed.substituted_key.to_bytes(8, "big"),
+                "payload": sealed.ciphertext,
+            },
+            sealed.checksum,
+        )
+        payload = self._cipher(sealed.substituted_key).decrypt(sealed.ciphertext)
+        return (self.substitution.invert(sealed.substituted_key), payload)
+
+    # -- DBMS-mediated operations ------------------------------------------
+
+    def insert(self, key: int, payload: bytes) -> None:
+        """Seal a record and hand it to the oblivious DBMS."""
+        sealed = self.seal(key, payload)
+        self.dbms.insert(sealed.substituted_key, sealed.to_bytes())
+
+    def search(self, key: int) -> bytes:
+        """Exact-match lookup through the filter."""
+        stored = self.dbms.search(self.substitution.substitute(key))
+        recovered_key, payload = self.unseal(SealedRecord.from_bytes(stored))
+        if recovered_key != key:
+            raise IntegrityError(
+                f"record under substituted key decodes to key {recovered_key}, "
+                f"expected {key}"
+            )
+        return payload
+
+    def delete(self, key: int) -> None:
+        """Delete through the filter."""
+        self.dbms.delete(self.substitution.substitute(key))
+
+    def range_search(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
+        """Range query -- possible *because* the disguise preserves order.
+
+        Endpoints are substituted (clamped into the key universe) and the
+        untrusted DBMS executes the range scan on substituted keys alone.
+        """
+        if lo > hi:
+            return []
+        lo_sub = self.substitution.substitute_lower_bound(max(lo, 0))
+        hi_sub = self.substitution.substitute_lower_bound(hi)
+        out = []
+        for _, stored in self.dbms.range_search(lo_sub, hi_sub):
+            key, payload = self.unseal(SealedRecord.from_bytes(stored))
+            if lo <= key <= hi:
+                out.append((key, payload))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.dbms)

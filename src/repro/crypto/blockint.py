@@ -1,0 +1,57 @@
+"""Adapting a block cipher to the integer-cipher interface.
+
+§5 of the paper offers *two* ciphers for the tree and data pointers: DES
+(64-bit blocks) and RSA.  The node codecs encrypt packed pointer
+integers, so DES needs an integer facade: one 64-bit block per packed
+value.  With the default 32-bit fields the packing needs 96 bits --
+too wide for one DES block -- so DES deployments use a narrower
+:class:`~repro.core.packing.PointerPacking` (e.g. 16-bit block ids and
+24-bit pointers pack to exactly 64 bits).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.base import BlockCipher, IntegerCipher
+from repro.exceptions import MessageRangeError
+
+
+class BlockIntegerCipher(IntegerCipher):
+    """Wrap a :class:`BlockCipher` as a permutation of ``[0, 2^(8b))``.
+
+    The integer is encoded big-endian into one cipher block; the
+    ciphertext block is decoded the same way.  ``modulus`` is exactly
+    ``2 ** (8 * block_size)``, so any packing that fits the block fits
+    the cipher.
+    """
+
+    def __init__(self, cipher: BlockCipher) -> None:
+        self.cipher = cipher
+        self.block_size = cipher.block_size
+        self.modulus = 1 << (8 * cipher.block_size)
+
+    def encrypt_int(self, m: int) -> int:
+        if not 0 <= m < self.modulus:
+            raise MessageRangeError(
+                f"plaintext {m} out of range [0, {self.modulus})"
+            )
+        block = m.to_bytes(self.block_size, "big")
+        return int.from_bytes(self.cipher.encrypt_block(block), "big")
+
+    def decrypt_int(self, c: int) -> int:
+        if not 0 <= c < self.modulus:
+            raise MessageRangeError(
+                f"ciphertext {c} out of range [0, {self.modulus})"
+            )
+        block = c.to_bytes(self.block_size, "big")
+        return int.from_bytes(self.cipher.decrypt_block(block), "big")
+
+
+def des_pointer_cipher(key: bytes) -> BlockIntegerCipher:
+    """A DES-backed pointer cipher (§5's block-cipher option).
+
+    Use with ``PointerPacking(block_bits=16, pointer_bits=24)`` so the
+    packed ``b || a || p`` value fills the 64-bit block exactly.
+    """
+    from repro.crypto.des import DES
+
+    return BlockIntegerCipher(DES(key))

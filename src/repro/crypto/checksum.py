@@ -1,0 +1,76 @@
+"""Cryptographic checksums for records (Denning, S&P 1984; paper §4.3).
+
+The paper's high-level security filter computes *"a plaintext search field
+which is included in the checksum calculation for that record"*, with the
+substituted (not the actual) search key placed in the field before the
+checksum is taken.  The checksum lets the filter detect tampering with
+records stored in an untrusted commercial DBMS.
+
+The construction is a DES CBC-MAC over a canonical serialisation of the
+record's fields -- the period-appropriate realisation of Denning's
+cryptographic checksum.  Field names and values are length-prefixed so
+that no two distinct records share a serialisation.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.des import DES
+from repro.exceptions import IntegrityError, KeyError_
+
+
+def _serialise_field(name: str, value: bytes) -> bytes:
+    name_bytes = name.encode("utf-8")
+    return (
+        len(name_bytes).to_bytes(2, "big")
+        + name_bytes
+        + len(value).to_bytes(4, "big")
+        + value
+    )
+
+
+def serialise_record(fields: dict[str, bytes]) -> bytes:
+    """Canonical, injective serialisation of a record's fields.
+
+    Fields are sorted by name so the checksum is independent of insertion
+    order.
+    """
+    return b"".join(
+        _serialise_field(name, fields[name]) for name in sorted(fields)
+    )
+
+
+class CryptographicChecksum:
+    """DES-CBC-MAC over record fields.
+
+    Parameters
+    ----------
+    key:
+        8-byte MAC key, distinct from the encryption keys (the filter
+        holds both).
+    """
+
+    MAC_SIZE = 8
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 8:
+            raise KeyError_(f"checksum key must be 8 bytes, got {len(key)}")
+        self._des = DES(key)
+
+    def compute(self, fields: dict[str, bytes]) -> bytes:
+        """Return the 8-byte checksum of a record."""
+        data = serialise_record(fields)
+        # Length prefix defeats extension across the padding boundary.
+        data = len(data).to_bytes(8, "big") + data
+        if len(data) % 8:
+            data += b"\x00" * (8 - len(data) % 8)
+        state = b"\x00" * 8
+        for start in range(0, len(data), 8):
+            block = bytes(a ^ b for a, b in zip(state, data[start : start + 8]))
+            state = self._des.encrypt_block(block)
+        return state
+
+    def verify(self, fields: dict[str, bytes], checksum: bytes) -> None:
+        """Raise :class:`IntegrityError` unless ``checksum`` matches."""
+        expected = self.compute(fields)
+        if expected != checksum:
+            raise IntegrityError("record checksum mismatch")

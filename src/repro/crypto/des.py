@@ -1,0 +1,325 @@
+"""The Data Encryption Standard (FIPS PUB 46), implemented from scratch.
+
+The paper (section 5) names DES as one of the two cryptosystems suitable
+for enciphering node blocks and data blocks: *"The DES can be used to
+encrypt data segments or blocks of 64 bits"*.  No third-party crypto
+library is available in this environment, so this module implements the
+full 16-round cipher -- initial/final permutations, key schedule (PC-1,
+PC-2, rotation schedule), expansion, the eight S-boxes and permutation P --
+directly from the standard.
+
+The implementation favours clarity over raw speed: blocks are manipulated
+as 64-bit integers and permutations are table-driven.  Known-answer tests
+in ``tests/crypto/test_des.py`` validate it against published test vectors.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.base import BlockCipher
+from repro.exceptions import KeyError_, MessageRangeError
+
+# --------------------------------------------------------------------------
+# FIPS 46 tables.  Entries are 1-based bit positions, MSB first, exactly as
+# printed in the standard.
+# --------------------------------------------------------------------------
+
+_IP = (
+    58, 50, 42, 34, 26, 18, 10, 2,
+    60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9, 1,
+    59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5,
+    63, 55, 47, 39, 31, 23, 15, 7,
+)
+
+_FP = (
+    40, 8, 48, 16, 56, 24, 64, 32,
+    39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28,
+    35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26,
+    33, 1, 41, 9, 49, 17, 57, 25,
+)
+
+_E = (
+    32, 1, 2, 3, 4, 5,
+    4, 5, 6, 7, 8, 9,
+    8, 9, 10, 11, 12, 13,
+    12, 13, 14, 15, 16, 17,
+    16, 17, 18, 19, 20, 21,
+    20, 21, 22, 23, 24, 25,
+    24, 25, 26, 27, 28, 29,
+    28, 29, 30, 31, 32, 1,
+)
+
+_P = (
+    16, 7, 20, 21, 29, 12, 28, 17,
+    1, 15, 23, 26, 5, 18, 31, 10,
+    2, 8, 24, 14, 32, 27, 3, 9,
+    19, 13, 30, 6, 22, 11, 4, 25,
+)
+
+_PC1 = (
+    57, 49, 41, 33, 25, 17, 9,
+    1, 58, 50, 42, 34, 26, 18,
+    10, 2, 59, 51, 43, 35, 27,
+    19, 11, 3, 60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15,
+    7, 62, 54, 46, 38, 30, 22,
+    14, 6, 61, 53, 45, 37, 29,
+    21, 13, 5, 28, 20, 12, 4,
+)
+
+_PC2 = (
+    14, 17, 11, 24, 1, 5,
+    3, 28, 15, 6, 21, 10,
+    23, 19, 12, 4, 26, 8,
+    16, 7, 27, 20, 13, 2,
+    41, 52, 31, 37, 47, 55,
+    30, 40, 51, 45, 33, 48,
+    44, 49, 39, 56, 34, 53,
+    46, 42, 50, 36, 29, 32,
+)
+
+_ROTATIONS = (1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1)
+
+_SBOXES = (
+    (
+        14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7,
+        0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8,
+        4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0,
+        15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+    ),
+    (
+        15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10,
+        3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5,
+        0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15,
+        13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+    ),
+    (
+        10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8,
+        13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1,
+        13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7,
+        1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+    ),
+    (
+        7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15,
+        13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9,
+        10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4,
+        3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+    ),
+    (
+        2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9,
+        14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6,
+        4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14,
+        11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+    ),
+    (
+        12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11,
+        10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8,
+        9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6,
+        4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+    ),
+    (
+        4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1,
+        13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6,
+        1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2,
+        6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+    ),
+    (
+        13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7,
+        1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2,
+        7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8,
+        2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+    ),
+)
+
+
+def _permute(value: int, width: int, table: tuple[int, ...]) -> int:
+    """Apply a FIPS permutation table to ``value`` of ``width`` bits.
+
+    Table entries are 1-based positions counted from the most significant
+    bit, as printed in the standard.  Used directly for the (rare) key
+    schedule; the per-block hot path uses byte lookup tables built from
+    the same FIPS tables below.
+    """
+    out = 0
+    for position in table:
+        out = (out << 1) | ((value >> (width - position)) & 1)
+    return out
+
+
+def _build_byte_luts(table: tuple[int, ...], in_width: int) -> list[list[int]]:
+    """Compile a permutation table into per-input-byte lookup tables.
+
+    ``result[i][b]`` is the output contribution of input byte ``i`` having
+    value ``b``; OR-ing the contributions of all bytes applies the full
+    permutation in ``in_width/8`` lookups instead of ``len(table)`` bit
+    operations.
+    """
+    nbytes = in_width // 8
+    out_len = len(table)
+    luts = [[0] * 256 for _ in range(nbytes)]
+    for out_pos, src in enumerate(table):
+        src_idx = src - 1
+        byte_idx = src_idx // 8
+        bit_in_byte = 7 - (src_idx % 8)
+        out_bit = 1 << (out_len - 1 - out_pos)
+        for val in range(256):
+            if (val >> bit_in_byte) & 1:
+                luts[byte_idx][val] |= out_bit
+    return luts
+
+
+_IP_LUT: list[list[int]]
+_FP_LUT: list[list[int]]
+_E_LUT: list[list[int]]
+_SP: list[list[int]]
+
+
+def _build_sp_boxes() -> list[list[int]]:
+    """Fuse each S-box with the P permutation: ``SP[i][chunk]`` is the
+    32-bit post-P contribution of S-box ``i`` on a 6-bit input chunk."""
+    sp = []
+    for i, sbox in enumerate(_SBOXES):
+        entries = []
+        for chunk in range(64):
+            row = ((chunk >> 4) & 0b10) | (chunk & 1)
+            col = (chunk >> 1) & 0xF
+            pre_p = sbox[row * 16 + col] << (28 - 4 * i)
+            entries.append(_permute(pre_p, 32, _P))
+        sp.append(entries)
+    return sp
+
+
+_IP_LUT = _build_byte_luts(_IP, 64)
+_FP_LUT = _build_byte_luts(_FP, 64)
+_E_LUT = _build_byte_luts(_E, 32)
+_SP = _build_sp_boxes()
+
+
+def _rotate28(value: int, amount: int) -> int:
+    """Left-rotate a 28-bit quantity."""
+    return ((value << amount) | (value >> (28 - amount))) & 0xFFFFFFF
+
+
+class DES(BlockCipher):
+    """FIPS-46 DES over 8-byte blocks.
+
+    Parameters
+    ----------
+    key:
+        The 8-byte DES key.  Parity bits are *not* checked by default
+        (most software implementations ignore them); pass
+        ``enforce_parity=True`` to require odd parity per byte.
+    """
+
+    block_size = 8
+
+    def __init__(self, key: bytes, enforce_parity: bool = False) -> None:
+        if len(key) != 8:
+            raise KeyError_(f"DES key must be 8 bytes, got {len(key)}")
+        if enforce_parity and not self.has_odd_parity(key):
+            raise KeyError_("DES key fails odd-parity check")
+        self.key = key
+        self._subkeys = self._key_schedule(int.from_bytes(key, "big"))
+
+    # -- key schedule ------------------------------------------------------
+
+    @staticmethod
+    def has_odd_parity(key: bytes) -> bool:
+        """True iff every byte of ``key`` has an odd number of set bits."""
+        return all(bin(b).count("1") % 2 == 1 for b in key)
+
+    @staticmethod
+    def fix_parity(key: bytes) -> bytes:
+        """Return ``key`` with the low bit of each byte set to odd parity."""
+        fixed = bytearray()
+        for b in key:
+            if bin(b >> 1).count("1") % 2 == 0:
+                fixed.append((b & 0xFE) | 1)
+            else:
+                fixed.append(b & 0xFE)
+        return bytes(fixed)
+
+    @staticmethod
+    def _key_schedule(key64: int) -> tuple[int, ...]:
+        """Derive the sixteen 48-bit round subkeys."""
+        cd = _permute(key64, 64, _PC1)
+        c = cd >> 28
+        d = cd & 0xFFFFFFF
+        subkeys = []
+        for shift in _ROTATIONS:
+            c = _rotate28(c, shift)
+            d = _rotate28(d, shift)
+            subkeys.append(_permute((c << 28) | d, 56, _PC2))
+        return tuple(subkeys)
+
+    # -- round function ----------------------------------------------------
+
+    @staticmethod
+    def _feistel(right32: int, subkey48: int) -> int:
+        """The DES f-function via byte-LUT expansion and fused SP boxes."""
+        e = _E_LUT
+        x = (
+            e[0][(right32 >> 24) & 0xFF]
+            | e[1][(right32 >> 16) & 0xFF]
+            | e[2][(right32 >> 8) & 0xFF]
+            | e[3][right32 & 0xFF]
+        ) ^ subkey48
+        sp = _SP
+        return (
+            sp[0][(x >> 42) & 0x3F]
+            | sp[1][(x >> 36) & 0x3F]
+            | sp[2][(x >> 30) & 0x3F]
+            | sp[3][(x >> 24) & 0x3F]
+            | sp[4][(x >> 18) & 0x3F]
+            | sp[5][(x >> 12) & 0x3F]
+            | sp[6][(x >> 6) & 0x3F]
+            | sp[7][x & 0x3F]
+        )
+
+    @staticmethod
+    def _apply64(luts: list[list[int]], value: int) -> int:
+        return (
+            luts[0][(value >> 56) & 0xFF]
+            | luts[1][(value >> 48) & 0xFF]
+            | luts[2][(value >> 40) & 0xFF]
+            | luts[3][(value >> 32) & 0xFF]
+            | luts[4][(value >> 24) & 0xFF]
+            | luts[5][(value >> 16) & 0xFF]
+            | luts[6][(value >> 8) & 0xFF]
+            | luts[7][value & 0xFF]
+        )
+
+    def _crypt_block(self, block64: int, subkeys: tuple[int, ...]) -> int:
+        block64 = self._apply64(_IP_LUT, block64)
+        left = block64 >> 32
+        right = block64 & 0xFFFFFFFF
+        feistel = self._feistel
+        for subkey in subkeys:
+            left, right = right, left ^ feistel(right, subkey)
+        # Final swap: the last round's halves are exchanged before FP.
+        return self._apply64(_FP_LUT, (right << 32) | left)
+
+    # -- public API --------------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 8-byte block."""
+        if len(block) != 8:
+            raise MessageRangeError(f"DES block must be 8 bytes, got {len(block)}")
+        value = self._crypt_block(int.from_bytes(block, "big"), self._subkeys)
+        return value.to_bytes(8, "big")
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 8-byte block."""
+        if len(block) != 8:
+            raise MessageRangeError(f"DES block must be 8 bytes, got {len(block)}")
+        value = self._crypt_block(
+            int.from_bytes(block, "big"), self._subkeys[::-1]
+        )
+        return value.to_bytes(8, "big")

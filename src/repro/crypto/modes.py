@@ -1,0 +1,102 @@
+"""Block-cipher modes of operation and padding.
+
+Bayer and Metzger's text-encryption function ``T`` operates over whole
+pages; a page is longer than one cipher block, so a mode of operation is
+needed.  We provide ECB (the straightforward reading of a 1976/1990-era
+block-cipher deployment) and CBC with a page-id-derived IV (a stronger
+choice that still requires no stored per-page state), plus PKCS#7 padding.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.base import BlockCipher
+from repro.exceptions import CryptoError
+
+
+def pad_pkcs7(data: bytes, block_size: int) -> bytes:
+    """Pad ``data`` to a multiple of ``block_size`` (PKCS#7).
+
+    Always appends at least one byte so the padding is unambiguous.
+    """
+    if not 1 <= block_size <= 255:
+        raise CryptoError(f"block size {block_size} unsupported by PKCS#7")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def unpad_pkcs7(data: bytes, block_size: int) -> bytes:
+    """Strip PKCS#7 padding, validating every padding byte."""
+    if not data or len(data) % block_size != 0:
+        raise CryptoError("padded data length is not a block multiple")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise CryptoError("invalid PKCS#7 padding length")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise CryptoError("corrupt PKCS#7 padding")
+    return data[:-pad_len]
+
+
+class ECBCipher:
+    """Electronic-codebook mode over a :class:`BlockCipher`."""
+
+    def __init__(self, cipher: BlockCipher) -> None:
+        self.cipher = cipher
+        self.block_size = cipher.block_size
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        data = pad_pkcs7(plaintext, self.block_size)
+        out = bytearray()
+        for start in range(0, len(data), self.block_size):
+            out.extend(self.cipher.encrypt_block(data[start : start + self.block_size]))
+        return bytes(out)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) % self.block_size != 0:
+            raise CryptoError("ciphertext length is not a block multiple")
+        out = bytearray()
+        for start in range(0, len(ciphertext), self.block_size):
+            out.extend(self.cipher.decrypt_block(ciphertext[start : start + self.block_size]))
+        return unpad_pkcs7(bytes(out), self.block_size)
+
+
+class CBCCipher:
+    """Cipher-block-chaining mode with an explicit IV.
+
+    The page-key scheme derives the IV from the page id, so identical
+    plaintext pages still produce distinct cryptograms without any stored
+    per-page nonce.
+    """
+
+    def __init__(self, cipher: BlockCipher, iv: bytes) -> None:
+        if len(iv) != cipher.block_size:
+            raise CryptoError(
+                f"IV must be {cipher.block_size} bytes, got {len(iv)}"
+            )
+        self.cipher = cipher
+        self.block_size = cipher.block_size
+        self.iv = iv
+
+    @staticmethod
+    def _xor(a: bytes, b: bytes) -> bytes:
+        return bytes(x ^ y for x, y in zip(a, b))
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        data = pad_pkcs7(plaintext, self.block_size)
+        out = bytearray()
+        previous = self.iv
+        for start in range(0, len(data), self.block_size):
+            block = self._xor(data[start : start + self.block_size], previous)
+            previous = self.cipher.encrypt_block(block)
+            out.extend(previous)
+        return bytes(out)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) % self.block_size != 0:
+            raise CryptoError("ciphertext length is not a block multiple")
+        out = bytearray()
+        previous = self.iv
+        for start in range(0, len(ciphertext), self.block_size):
+            block = ciphertext[start : start + self.block_size]
+            out.extend(self._xor(self.cipher.decrypt_block(block), previous))
+            previous = block
+        return unpad_pkcs7(bytes(out), self.block_size)

@@ -1,0 +1,122 @@
+"""Multilevel organisation of encryption keys (Hardjono & Seberry, ACSC'89).
+
+Section 5 of the paper points to the authors' earlier *multilevel
+encryption scheme*: a hierarchy of keys organised by security level so
+that *"each triplet in a node block [may] be assigned a security level,
+restricting access to data by users of lower security clearances"*.
+
+The construction used here is the classic RSA-based one-way chain for a
+totally ordered set of clearances ``0 > 1 > ... > m-1`` (level 0 is the
+most privileged):
+
+    ``K_{l+1} = K_l ** e  (mod N)``
+
+Stepping *down* the hierarchy is a modular exponentiation anyone can
+perform given the chain parameters; stepping *up* requires inverting RSA.
+A user cleared at level ``l`` therefore stores the single integer ``K_l``
+and derives the key of every level ``>= l`` on demand, while levels
+``< l`` stay out of reach.  This is exactly the "small secret, large
+reach" trade-off the paper favours throughout.
+
+Derived integers are folded to 8-byte DES keys for use with the block
+layer, so a triplet tagged with level ``l`` can be enciphered under
+``des_key(l)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.numbers import modinv
+from repro.crypto.rsa import RSAKeyPair, generate_rsa_keypair
+from repro.exceptions import CryptoError
+
+
+class MultilevelKeyScheme:
+    """A one-way chain of level keys over an RSA modulus.
+
+    Parameters
+    ----------
+    levels:
+        Number of security levels; level ``0`` is the highest clearance.
+    keypair:
+        RSA parameters; generated deterministically when omitted.
+    master:
+        The level-0 key ``K_0``; random in ``[2, N-1)`` when omitted.
+    """
+
+    def __init__(
+        self,
+        levels: int,
+        keypair: RSAKeyPair | None = None,
+        master: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if levels < 1:
+            raise CryptoError(f"need at least one level, got {levels}")
+        rng = rng or random.Random(0x4D4C4B53)
+        self.keypair = keypair or generate_rsa_keypair(bits=128, rng=rng)
+        self.levels = levels
+        self.master = master if master is not None else rng.randrange(2, self.keypair.n - 1)
+        if not 1 < self.master < self.keypair.n:
+            raise CryptoError("master key out of range for modulus")
+
+    def key_at(self, level: int, from_level: int = 0, from_key: int | None = None) -> int:
+        """Derive the key of ``level`` from a key held at ``from_level``.
+
+        Raises :class:`CryptoError` when asked to step *up* the hierarchy,
+        which is the access-control guarantee.
+        """
+        if not 0 <= level < self.levels:
+            raise CryptoError(f"level {level} outside [0, {self.levels})")
+        if not 0 <= from_level < self.levels:
+            raise CryptoError(f"level {from_level} outside [0, {self.levels})")
+        if level < from_level:
+            raise CryptoError(
+                f"cannot derive level {level} from lower clearance {from_level}"
+            )
+        key = self.master if from_key is None else from_key
+        for _ in range(level - from_level):
+            key = pow(key, self.keypair.e, self.keypair.n)
+        return key
+
+    def unsafe_step_up(self, key: int) -> int:
+        """Invert one chain step using the private exponent.
+
+        Only the security officer holding ``d`` can do this; it exists so
+        tests can verify that the chain is consistent in both directions.
+        """
+        return pow(key, self.keypair.d, self.keypair.n)
+
+    def des_key(self, level: int, from_level: int = 0, from_key: int | None = None) -> bytes:
+        """Fold the level key to an 8-byte DES key for the block layer."""
+        key = self.key_at(level, from_level=from_level, from_key=from_key)
+        folded = 0
+        while key:
+            folded ^= key & 0xFFFFFFFFFFFFFFFF
+            key >>= 64
+        # Mix in the modulus so distinct schemes with equal masters differ.
+        folded ^= self.keypair.n & 0xFFFFFFFFFFFFFFFF
+        return folded.to_bytes(8, "big")
+
+    def secret_size_bytes(self, level: int) -> int:
+        """Bytes a level-``level`` user must store (one chain element)."""
+        if not 0 <= level < self.levels:
+            raise CryptoError(f"level {level} outside [0, {self.levels})")
+        return (self.keypair.n.bit_length() + 7) // 8
+
+
+def verify_chain_consistency(scheme: MultilevelKeyScheme) -> bool:
+    """Check ``step_up(step_down(k)) == k`` along the whole chain."""
+    key = scheme.master
+    for level in range(1, scheme.levels):
+        nxt = scheme.key_at(level, from_level=level - 1, from_key=key)
+        if scheme.unsafe_step_up(nxt) != key % scheme.keypair.n:
+            return False
+        key = nxt
+    return True
+
+
+def chain_inverse_exponent(scheme: MultilevelKeyScheme) -> int:
+    """The exponent that undoes one chain step (``d``), for auditing."""
+    return modinv(scheme.keypair.e, (scheme.keypair.p - 1) * (scheme.keypair.q - 1))

@@ -1,0 +1,60 @@
+"""Combinatorial block designs: the mathematical engine of the paper.
+
+The paper disguises B-Tree search keys with *balanced incomplete block
+designs* developed from difference sets, with the running example being
+the ``(13, 4, 1)`` design -- the projective plane of order 3 -- developed
+from the planar difference set ``{0, 1, 3, 9} mod 13``.
+
+This package builds that machinery from scratch:
+
+* :mod:`repro.designs.gf` -- finite fields GF(p^e);
+* :mod:`repro.designs.difference_sets` -- difference sets: verification,
+  development into cyclic designs, exhaustive search, and the Singer
+  construction that yields planar difference sets of any prime-power order;
+* :mod:`repro.designs.bibd` -- block designs, incidence matrices and axiom
+  verification;
+* :mod:`repro.designs.projective` -- the projective plane PG(2, q) built
+  from homogeneous coordinates;
+* :mod:`repro.designs.ovals` -- ovals (arcs with no three points collinear),
+  conics, and the paper's multiplier map from lines to ovals.
+"""
+
+from repro.designs.gf import GF
+from repro.designs.difference_sets import (
+    PAPER_DIFFERENCE_SET,
+    DifferenceSet,
+    find_difference_set,
+    planar_difference_set,
+    singer_difference_set,
+)
+from repro.designs.bibd import BlockDesign
+from repro.designs.projective import ProjectivePlane
+from repro.designs.ovals import (
+    conic_points,
+    is_oval,
+    multiplier_map,
+    oval_table,
+)
+from repro.designs.multipliers import (
+    is_numerical_multiplier,
+    non_multiplier_units,
+    numerical_multipliers,
+)
+
+__all__ = [
+    "GF",
+    "BlockDesign",
+    "DifferenceSet",
+    "PAPER_DIFFERENCE_SET",
+    "ProjectivePlane",
+    "conic_points",
+    "find_difference_set",
+    "is_numerical_multiplier",
+    "is_oval",
+    "multiplier_map",
+    "non_multiplier_units",
+    "numerical_multipliers",
+    "oval_table",
+    "planar_difference_set",
+    "singer_difference_set",
+]

@@ -1,0 +1,161 @@
+"""Balanced incomplete block designs (BIBDs) and their incidence matrices.
+
+A ``{v, b, r, k, lambda}`` BIBD is a collection of ``b`` k-subsets
+("blocks") of a v-set of points ("treatments") such that every point lies
+in ``r`` blocks and every pair of distinct points lies in exactly
+``lambda`` blocks.  The designs the paper develops from difference sets
+are *symmetric* (``b = v``, ``r = k``).
+
+The incidence matrix here follows the paper's convention: *"a 1 in row x
+and column y of the incident matrix indicating that the point P_x lies on
+line L_y"* -- rows are points, columns are blocks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.designs.difference_sets import DifferenceSet
+from repro.exceptions import DesignError, NotADesignError
+
+
+@dataclass(frozen=True)
+class BlockDesign:
+    """An explicit block design: ``v`` points, blocks as point tuples.
+
+    Blocks preserve the order their points were supplied in, because the
+    paper's substitution depends on point *positions* within a line
+    matching point positions within the corresponding oval.
+    """
+
+    v: int
+    blocks: tuple[tuple[int, ...], ...]
+    lam: int = 1
+
+    def __post_init__(self) -> None:
+        if self.v < 2:
+            raise DesignError(f"v must be >= 2, got {self.v}")
+        for block in self.blocks:
+            for point in block:
+                if not 0 <= point < self.v:
+                    raise DesignError(f"point {point} outside [0, {self.v})")
+            if len(set(block)) != len(block):
+                raise DesignError(f"block {block} repeats a point")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_difference_set(cls, ds: DifferenceSet) -> "BlockDesign":
+        """Develop a difference set into its cyclic symmetric design."""
+        return cls(v=ds.v, blocks=tuple(ds.develop()), lam=ds.lam)
+
+    # -- parameters ----------------------------------------------------------
+
+    @property
+    def b(self) -> int:
+        """Number of blocks."""
+        return len(self.blocks)
+
+    @property
+    def k(self) -> int:
+        """Block size (uniform; verified by :meth:`verify`)."""
+        if not self.blocks:
+            raise DesignError("design has no blocks")
+        return len(self.blocks[0])
+
+    @property
+    def r(self) -> int:
+        """Replication number, from the identity ``b*k = v*r``."""
+        total = sum(len(block) for block in self.blocks)
+        if total % self.v:
+            raise NotADesignError("bk is not divisible by v; not a design")
+        return total // self.v
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True iff ``b == v`` (equivalently ``r == k``)."""
+        return self.b == self.v
+
+    def parameters(self) -> tuple[int, int, int, int, int]:
+        """The full ``(v, b, r, k, lambda)`` parameter tuple."""
+        return (self.v, self.b, self.r, self.k, self.lam)
+
+    # -- verification ----------------------------------------------------
+
+    def verify(self) -> None:
+        """Raise :class:`NotADesignError` unless every BIBD axiom holds."""
+        if not self.blocks:
+            raise NotADesignError("design has no blocks")
+        k = len(self.blocks[0])
+        if any(len(block) != k for block in self.blocks):
+            raise NotADesignError("blocks are not of uniform size")
+        replication = Counter(point for block in self.blocks for point in block)
+        r_values = {replication.get(point, 0) for point in range(self.v)}
+        if len(r_values) != 1:
+            raise NotADesignError(f"replication not uniform: {sorted(r_values)}")
+        pair_counts: Counter[tuple[int, int]] = Counter()
+        for block in self.blocks:
+            for a, c in combinations(sorted(block), 2):
+                pair_counts[(a, c)] += 1
+        expected_pairs = self.v * (self.v - 1) // 2
+        if len(pair_counts) != expected_pairs or set(pair_counts.values()) != {self.lam}:
+            raise NotADesignError(
+                f"pair coverage is not uniformly lambda={self.lam}"
+            )
+        # Fisher's inequality, a sanity cross-check on the parameters.
+        if self.b < self.v:
+            raise NotADesignError(f"Fisher violated: b={self.b} < v={self.v}")
+
+    def is_valid(self) -> bool:
+        """Boolean form of :meth:`verify`."""
+        try:
+            self.verify()
+        except NotADesignError:
+            return False
+        return True
+
+    # -- incidence ---------------------------------------------------------
+
+    def incidence_matrix(self) -> list[list[int]]:
+        """Point-by-block 0/1 matrix (paper's row=point, column=line)."""
+        matrix = [[0] * self.b for _ in range(self.v)]
+        for y, block in enumerate(self.blocks):
+            for point in block:
+                matrix[point][y] = 1
+        return matrix
+
+    def blocks_through(self, point: int) -> list[int]:
+        """Indices of the blocks containing ``point``."""
+        if not 0 <= point < self.v:
+            raise DesignError(f"point {point} outside [0, {self.v})")
+        return [y for y, block in enumerate(self.blocks) if point in block]
+
+    def blocks_through_pair(self, a: int, c: int) -> list[int]:
+        """Indices of the blocks containing both points (``lambda`` many)."""
+        return [
+            y
+            for y, block in enumerate(self.blocks)
+            if a in block and c in block
+        ]
+
+    # -- transformation ----------------------------------------------------
+
+    def map_points(self, mapping: Sequence[int] | dict[int, int]) -> "BlockDesign":
+        """Apply a point relabelling to every block, preserving positions."""
+        if isinstance(mapping, dict):
+            lookup = mapping
+        else:
+            lookup = {i: m for i, m in enumerate(mapping)}
+        new_blocks = tuple(
+            tuple(lookup[point] for point in block) for block in self.blocks
+        )
+        return BlockDesign(v=self.v, blocks=new_blocks, lam=self.lam)
+
+    def restricted(self, block_indices: Iterable[int]) -> "BlockDesign":
+        """Sub-collection of blocks (not generally a BIBD); used by §4.3's
+        selection of a continuous subset of R blocks."""
+        chosen = tuple(self.blocks[i] for i in block_indices)
+        return BlockDesign(v=self.v, blocks=chosen, lam=self.lam)

@@ -1,0 +1,273 @@
+"""Difference sets and their development into cyclic block designs.
+
+Section 4 of the paper: *"consider a difference set with parameters
+{v, k, lambda}.  Such a difference set is also recognized as a
+{v, b, r, k, lambda} balanced incomplete block design, with b = v and
+r = k."*  The designs used for key disguising are exactly the cyclic
+designs obtained by *developing* a difference set ``D``: the blocks (the
+paper's "lines") are the translates ``L_y = D + y (mod v)``.
+
+The paper's running example develops ``{0, 1, 3, 9} mod 13`` into the
+``(13, 4, 1)`` design, i.e. the projective plane of order 3.
+
+This module provides:
+
+* :class:`DifferenceSet` -- verification, development, lazy line access,
+  and treatment sums (needed by the order-preserving disguise of §4.3);
+* :func:`find_difference_set` -- exhaustive search for small parameters;
+* :func:`singer_difference_set` -- the Singer construction, which produces
+  a planar difference set of order ``q`` (``v = q^2+q+1``) for every prime
+  power ``q`` via the trace-zero hyperplane of GF(q^3) over GF(q);
+* :func:`planar_difference_set` -- a small catalogue backed by the Singer
+  construction for uncached orders.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.designs.gf import GF
+from repro.exceptions import DesignError, NotADifferenceSetError
+
+
+@dataclass(frozen=True)
+class DifferenceSet:
+    """A ``(v, k, lambda)`` cyclic difference set ``D`` over ``Z_v``.
+
+    Developing ``D`` yields a symmetric BIBD whose blocks are the
+    translates ``D + y mod v`` -- the "lines" of the paper.
+
+    >>> d = DifferenceSet((0, 1, 3, 9), 13, 1)
+    >>> d.line(1)
+    (1, 2, 4, 10)
+    """
+
+    residues: tuple[int, ...]
+    v: int
+    lam: int = 1
+    _sorted: tuple[int, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.v < 2:
+            raise DesignError(f"v must be >= 2, got {self.v}")
+        if any(not 0 <= r < self.v for r in self.residues):
+            raise DesignError(f"residues must lie in [0, {self.v})")
+        if len(set(self.residues)) != len(self.residues):
+            raise DesignError("residues must be distinct")
+        object.__setattr__(self, "_sorted", tuple(sorted(self.residues)))
+
+    # -- parameters --------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Block size (points per line)."""
+        return len(self.residues)
+
+    @property
+    def b(self) -> int:
+        """Number of blocks (= v for a symmetric design)."""
+        return self.v
+
+    @property
+    def r(self) -> int:
+        """Replication number (= k for a symmetric design)."""
+        return self.k
+
+    def parameters(self) -> tuple[int, int, int]:
+        """The ``(v, k, lambda)`` triple."""
+        return (self.v, self.k, self.lam)
+
+    # -- verification ------------------------------------------------------
+
+    def verify(self) -> None:
+        """Raise :class:`NotADifferenceSetError` unless D is a genuine
+        ``(v, k, lambda)`` difference set.
+
+        Checks the counting identity ``k(k-1) = lambda(v-1)`` and that every
+        non-zero residue arises exactly ``lambda`` times as a difference.
+        """
+        k = self.k
+        if k * (k - 1) != self.lam * (self.v - 1):
+            raise NotADifferenceSetError(
+                f"k(k-1)={k * (k - 1)} != lambda(v-1)={self.lam * (self.v - 1)}"
+            )
+        counts = [0] * self.v
+        for a in self.residues:
+            for b in self.residues:
+                if a != b:
+                    counts[(a - b) % self.v] += 1
+        bad = [d for d in range(1, self.v) if counts[d] != self.lam]
+        if bad:
+            raise NotADifferenceSetError(
+                f"differences {bad[:5]} occur != lambda={self.lam} times"
+            )
+
+    def is_valid(self) -> bool:
+        """Boolean form of :meth:`verify`."""
+        try:
+            self.verify()
+        except NotADifferenceSetError:
+            return False
+        return True
+
+    # -- development (the paper's "lines") -----------------------------------
+
+    def line(self, y: int) -> tuple[int, ...]:
+        """The translate ``L_y = D + y (mod v)``, in the order of ``D``.
+
+        The paper generates lines one at a time during the substitution
+        scan; this accessor is O(k) and allocates nothing else.
+        """
+        return tuple((r + y) % self.v for r in self.residues)
+
+    def develop(self) -> list[tuple[int, ...]]:
+        """All ``v`` lines ``L_0 .. L_{v-1}`` (the full cyclic design)."""
+        return [self.line(y) for y in range(self.v)]
+
+    def lines_containing(self, point: int) -> list[int]:
+        """Indices ``y`` of the lines through ``point`` (there are ``r``).
+
+        ``point`` lies on ``L_y`` iff ``point - y mod v`` is a residue, so
+        the answer is ``point - D mod v``.
+        """
+        if not 0 <= point < self.v:
+            raise DesignError(f"point {point} outside Z_{self.v}")
+        return sorted((point - r) % self.v for r in self.residues)
+
+    def multiply(self, t: int) -> "DifferenceSet":
+        """The difference set ``t*D mod v`` for a unit ``t``.
+
+        Multiplying by a unit preserves the difference property; this is the
+        algebraic heart of the paper's line-to-oval map.
+        """
+        from math import gcd
+
+        if gcd(t, self.v) != 1:
+            raise DesignError(f"multiplier {t} is not a unit modulo {self.v}")
+        return DifferenceSet(
+            tuple((t * r) % self.v for r in self.residues), self.v, self.lam
+        )
+
+    # -- treatment sums (substrate for the §4.3 disguise) --------------------
+
+    def line_sum(self, y: int) -> int:
+        """Sum of the integer treatments on ``L_y`` (no modular reduction).
+
+        Closed form: ``sum((d + y) mod v) = k*y + sum(D) - v * w(y)`` where
+        ``w(y)`` counts residues that wrap past ``v``.
+        """
+        if not 0 <= y < self.v:
+            raise DesignError(f"line index {y} outside [0, {self.v})")
+        wrapped = len(self._sorted) - bisect.bisect_left(self._sorted, self.v - y)
+        return self.k * y + sum(self._sorted) - self.v * wrapped
+
+    def cumulative_line_sum(self, start: int, end: int) -> int:
+        """``sum(line_sum(y) for y in range(start, end + 1))`` in O(k).
+
+        This is the §4.3 substitute value of the key assigned to line
+        ``L_end`` when the secret starting line is ``L_start``.  The closed
+        form sums the arithmetic part directly and counts wraps per residue.
+        """
+        if not 0 <= start <= end < self.v:
+            raise DesignError(
+                f"need 0 <= start <= end < v, got start={start} end={end} v={self.v}"
+            )
+        count = end - start + 1
+        arithmetic = self.k * (start + end) * count // 2 + sum(self._sorted) * count
+        wraps = 0
+        for d in self._sorted:
+            # L_y wraps residue d iff y >= v - d; intersect [start, end].
+            first_wrapping = max(start, self.v - d) if d else end + 1
+            if first_wrapping <= end:
+                wraps += end - first_wrapping + 1
+        return arithmetic - self.v * wraps
+
+
+#: The paper's running example: {0,1,3,9} mod 13 -- the (13,4,1) design,
+#: i.e. the projective plane of order 3.
+PAPER_DIFFERENCE_SET = DifferenceSet((0, 1, 3, 9), 13, 1)
+
+#: Small catalogue of planar difference sets (projective planes of order n,
+#: v = n^2+n+1).  Orders beyond the catalogue come from the Singer
+#: construction.
+_PLANAR_CATALOGUE: dict[int, tuple[int, ...]] = {
+    2: (0, 1, 3),
+    3: (0, 1, 3, 9),
+}
+
+
+def find_difference_set(
+    v: int, k: int, lam: int = 1, require_zero_one: bool = True
+) -> DifferenceSet:
+    """Exhaustive search for a ``(v, k, lambda)`` difference set.
+
+    Any difference set can be translated and scaled so that it contains 0
+    and 1, which prunes the search dramatically; disable via
+    ``require_zero_one`` to search the raw space.  Intended for small
+    parameters (the paper's examples); use :func:`singer_difference_set`
+    for large planar designs.
+    """
+    if k * (k - 1) != lam * (v - 1):
+        raise DesignError(
+            f"no ({v},{k},{lam}) difference set: k(k-1) != lambda(v-1)"
+        )
+    fixed = (0, 1) if require_zero_one else (0,)
+    pool = [x for x in range(1, v) if x not in fixed]
+    for extra in combinations(pool, k - len(fixed)):
+        candidate = DifferenceSet(fixed + extra, v, lam)
+        if candidate.is_valid():
+            return candidate
+    raise DesignError(f"no ({v},{k},{lam}) difference set found")
+
+
+def singer_difference_set(q: int) -> DifferenceSet:
+    """Singer's planar difference set of order ``q`` (prime power).
+
+    Construction: let ``F = GF(q^3)`` and let ``alpha`` generate ``F*``.
+    The points of PG(2, q) are the classes ``alpha^i * GF(q)*`` for
+    ``i in [0, v)`` with ``v = q^2+q+1``.  A line is a 2-dimensional
+    GF(q)-subspace; taking the trace-style subspace spanned by ``{1,
+    alpha}``, the exponents ``i`` with ``alpha^i`` in the subspace form a
+    ``(q^2+q+1, q+1, 1)`` difference set.
+
+    The result is normalised (translated/sorted) to contain 0.
+    """
+    v = q * q + q + 1
+    field_q3 = GF(q**3)
+    alpha = field_q3.primitive_element()
+    # The subspace span{1, alpha} over GF(q).  GF(q) inside GF(q^3) is the
+    # set of elements fixed by the Frobenius x -> x^q.  For prime q those
+    # are exactly the constant polynomials (encodings 0..q-1); for prime
+    # powers we fall back to enumerating the fixed points.
+    if field_q3.p == q:
+        subfield: list[int] = list(range(q))
+    else:
+        subfield = [x for x in field_q3.elements() if field_q3.pow(x, q) == x]
+    if len(subfield) != q:
+        raise DesignError(f"subfield extraction failed for GF({q}^3)")
+    span: set[int] = set()
+    for a in subfield:
+        for b in subfield:
+            span.add(field_q3.add(a, field_q3.mul(b, alpha)))
+    residues = []
+    x = 1
+    for i in range(v):
+        if x in span:
+            residues.append(i)
+        x = field_q3.mul(x, alpha)
+    if len(residues) != q + 1:
+        raise DesignError(
+            f"Singer construction yielded {len(residues)} residues, wanted {q + 1}"
+        )
+    ds = DifferenceSet(tuple(residues), v, 1)
+    ds.verify()
+    return ds
+
+
+def planar_difference_set(order: int) -> DifferenceSet:
+    """A planar difference set of the given order (catalogue or Singer)."""
+    if order in _PLANAR_CATALOGUE:
+        return DifferenceSet(_PLANAR_CATALOGUE[order], order * order + order + 1, 1)
+    return singer_difference_set(order)

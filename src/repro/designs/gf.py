@@ -1,0 +1,280 @@
+"""Finite fields GF(p^e), built from scratch.
+
+Projective planes of order ``q`` (the paper's ``v = n^2 + n + 1`` designs)
+exist for every prime power ``q``, and the Singer construction of planar
+difference sets works inside GF(q^3).  Both need explicit field
+arithmetic, so this module implements GF(p^e) with elements encoded as
+integers in ``[0, p^e)`` whose base-``p`` digits are the coefficients of a
+polynomial over GF(p), reduced modulo a monic irreducible polynomial found
+by search.
+
+For ``e == 1`` the representation degenerates to plain modular arithmetic,
+so GF(p) costs nothing extra.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.numbers import factorize, is_prime
+from repro.exceptions import DesignError
+
+
+def _poly_from_int(value: int, p: int) -> list[int]:
+    """Decode an integer into base-``p`` digits (little-endian coefficients)."""
+    coeffs = []
+    while value:
+        coeffs.append(value % p)
+        value //= p
+    return coeffs
+
+
+def _poly_to_int(coeffs: list[int], p: int) -> int:
+    value = 0
+    for c in reversed(coeffs):
+        value = value * p + c
+    return value
+
+
+def _poly_mul_mod(a: list[int], b: list[int], modulus: list[int], p: int) -> list[int]:
+    """Multiply polynomials over GF(p) and reduce modulo ``modulus``."""
+    result = [0] * (len(a) + len(b) - 1) if a and b else []
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            result[i + j] = (result[i + j] + ca * cb) % p
+    return _poly_mod(result, modulus, p)
+
+
+def _poly_mod(a: list[int], modulus: list[int], p: int) -> list[int]:
+    """Reduce polynomial ``a`` modulo the monic polynomial ``modulus``."""
+    a = a[:]
+    deg_m = len(modulus) - 1
+    while len(a) > deg_m:
+        lead = a[-1]
+        if lead:
+            shift = len(a) - 1 - deg_m
+            for i, c in enumerate(modulus):
+                a[shift + i] = (a[shift + i] - lead * c) % p
+        a.pop()
+    while a and a[-1] == 0:
+        a.pop()
+    return a
+
+
+def _is_irreducible(coeffs: list[int], p: int) -> bool:
+    """Test irreducibility over GF(p) via the x^(p^d) criterion.
+
+    A monic polynomial f of degree n is irreducible iff
+    ``x^(p^n) == x (mod f)`` and ``gcd``-style checks hold for every prime
+    divisor d of n: ``x^(p^(n/d)) - x`` shares no root structure with f.
+    We use the standard test: x^(p^n) = x mod f, and for each prime d | n,
+    gcd(f, x^(p^(n/d)) - x) == 1, implemented via repeated squaring of the
+    Frobenius map.
+    """
+    n = len(coeffs) - 1
+    if n < 1 or coeffs[-1] != 1:
+        return False
+
+    def frob_power(times: int) -> list[int]:
+        # compute x^(p^times) mod f by iterating the Frobenius map x -> x^p
+        poly = [0, 1]
+        for _ in range(times):
+            poly = _poly_pow_mod(poly, p, coeffs, p)
+        return poly
+
+    # x^(p^n) must equal x
+    if frob_power(n) != [0, 1]:
+        return False
+    for d in factorize(n):
+        g = _poly_sub(frob_power(n // d), [0, 1], p)
+        if _poly_gcd(coeffs, g, p) != [1]:
+            return False
+    return True
+
+
+def _poly_sub(a: list[int], b: list[int], p: int) -> list[int]:
+    length = max(len(a), len(b))
+    out = [0] * length
+    for i in range(length):
+        ca = a[i] if i < len(a) else 0
+        cb = b[i] if i < len(b) else 0
+        out[i] = (ca - cb) % p
+    while out and out[-1] == 0:
+        out.pop()
+    return out
+
+
+def _poly_gcd(a: list[int], b: list[int], p: int) -> list[int]:
+    a, b = a[:], b[:]
+    while b:
+        a = _poly_divmod_rem(a, b, p)
+        a, b = b, a
+    if a:
+        # normalise to monic
+        inv = pow(a[-1], p - 2, p)
+        a = [(c * inv) % p for c in a]
+    return a
+
+
+def _poly_divmod_rem(a: list[int], b: list[int], p: int) -> list[int]:
+    a = a[:]
+    inv_lead = pow(b[-1], p - 2, p)
+    while len(a) >= len(b) and a:
+        factor = (a[-1] * inv_lead) % p
+        shift = len(a) - len(b)
+        for i, c in enumerate(b):
+            a[shift + i] = (a[shift + i] - factor * c) % p
+        while a and a[-1] == 0:
+            a.pop()
+    return a
+
+
+def _poly_pow_mod(base: list[int], exponent: int, modulus: list[int], p: int) -> list[int]:
+    result = [1]
+    base = _poly_mod(base, modulus, p)
+    while exponent:
+        if exponent & 1:
+            result = _poly_mul_mod(result, base, modulus, p)
+        base = _poly_mul_mod(base, base, modulus, p)
+        exponent >>= 1
+    return result
+
+
+def find_irreducible(p: int, degree: int) -> list[int]:
+    """Find a monic irreducible polynomial of ``degree`` over GF(p).
+
+    Returns little-endian coefficients; deterministic (smallest by integer
+    encoding), so fields are reproducible across runs.
+    """
+    if degree == 1:
+        return [0, 1]
+    count = p**degree
+    for low in range(count):
+        coeffs = _poly_from_int(low, p)
+        coeffs += [0] * (degree - len(coeffs)) + [1]
+        if _is_irreducible(coeffs, p):
+            return coeffs
+    raise DesignError(f"no irreducible polynomial of degree {degree} over GF({p})")
+
+
+class GF:
+    """The finite field GF(p^e), elements encoded as ints in ``[0, p^e)``.
+
+    >>> f = GF(9)
+    >>> f.mul(f.add(3, 4), 2) == f.add(f.mul(3, 2), f.mul(4, 2))
+    True
+    """
+
+    def __init__(self, order: int) -> None:
+        factors = factorize(order)
+        if len(factors) != 1:
+            raise DesignError(f"{order} is not a prime power")
+        (self.p, self.e), = factors.items()
+        self.order = order
+        if self.e == 1:
+            self.modulus_poly: list[int] | None = None
+        else:
+            self.modulus_poly = find_irreducible(self.p, self.e)
+
+    # -- element arithmetic --------------------------------------------------
+
+    def _check(self, *elements: int) -> None:
+        for x in elements:
+            if not 0 <= x < self.order:
+                raise DesignError(f"{x} is not an element of GF({self.order})")
+
+    def add(self, a: int, b: int) -> int:
+        self._check(a, b)
+        if self.e == 1:
+            return (a + b) % self.p
+        pa, pb = _poly_from_int(a, self.p), _poly_from_int(b, self.p)
+        length = max(len(pa), len(pb))
+        out = [
+            ((pa[i] if i < len(pa) else 0) + (pb[i] if i < len(pb) else 0)) % self.p
+            for i in range(length)
+        ]
+        return _poly_to_int(out, self.p)
+
+    def neg(self, a: int) -> int:
+        self._check(a)
+        if self.e == 1:
+            return (-a) % self.p
+        return _poly_to_int([(-c) % self.p for c in _poly_from_int(a, self.p)], self.p)
+
+    def sub(self, a: int, b: int) -> int:
+        return self.add(a, self.neg(b))
+
+    def mul(self, a: int, b: int) -> int:
+        self._check(a, b)
+        if self.e == 1:
+            return (a * b) % self.p
+        assert self.modulus_poly is not None
+        out = _poly_mul_mod(
+            _poly_from_int(a, self.p), _poly_from_int(b, self.p),
+            self.modulus_poly, self.p,
+        )
+        return _poly_to_int(out, self.p)
+
+    def inv(self, a: int) -> int:
+        self._check(a)
+        if a == 0:
+            raise DesignError("0 has no multiplicative inverse")
+        # Lagrange: a^(q-2) = a^(-1) in GF(q).
+        return self.pow(a, self.order - 2)
+
+    def pow(self, a: int, exponent: int) -> int:
+        self._check(a)
+        if exponent < 0:
+            a = self.inv(a)
+            exponent = -exponent
+        result = 1
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, a)
+            a = self.mul(a, a)
+            exponent >>= 1
+        return result
+
+    # -- structure -------------------------------------------------------
+
+    def elements(self) -> range:
+        """All field elements (as their integer encodings)."""
+        return range(self.order)
+
+    def units(self) -> range:
+        """All non-zero elements."""
+        return range(1, self.order)
+
+    def multiplicative_order(self, a: int) -> int:
+        """Order of ``a`` in the multiplicative group GF(q)*."""
+        if a == 0:
+            raise DesignError("0 is not in the multiplicative group")
+        n = self.order - 1
+        order = n
+        for prime in factorize(n):
+            while order % prime == 0 and self.pow(a, order // prime) == 1:
+                order //= prime
+        return order
+
+    def primitive_element(self) -> int:
+        """Smallest generator of GF(q)* (deterministic)."""
+        n = self.order - 1
+        prime_divisors = list(factorize(n))
+        for candidate in self.units():
+            if all(self.pow(candidate, n // d) != 1 for d in prime_divisors):
+                return candidate
+        raise DesignError(f"GF({self.order}) has no primitive element (impossible)")
+
+    def is_prime_field(self) -> bool:
+        return self.e == 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"GF({self.order})"
+
+
+def is_prime_power(n: int) -> bool:
+    """True iff ``n`` is a prime power (convenience wrapper)."""
+    if n < 2:
+        return False
+    factors = factorize(n)
+    return len(factors) == 1 and is_prime(next(iter(factors)))

@@ -1,0 +1,96 @@
+"""Ovals: the geometric structures the paper maps lines onto.
+
+Section 4 defines an oval as *"a set of k points no three of which are
+collinear"* and realises the line-to-oval map as multiplication of the
+point integers by a secret ``t`` modulo ``v``: with the (13,4,1) design
+and ``t = 7`` the lines ``L_0..L_12`` become the ovals ``O_0..O_12``.
+
+Two views are provided:
+
+* the *arithmetic* view used by the substitution scheme --
+  :func:`multiplier_map` and :func:`oval_table` reproduce the paper's
+  side-by-side table exactly;
+* the *geometric* view -- :func:`is_oval` checks the no-three-collinear
+  property inside an explicit PG(2, q), and :func:`conic_points` builds
+  the classical conic ovals that witness existence for every odd order.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import gcd
+from typing import Sequence
+
+from repro.designs.bibd import BlockDesign
+from repro.designs.difference_sets import DifferenceSet
+from repro.designs.projective import ProjectivePlane
+from repro.exceptions import DesignError
+
+
+def multiplier_map(ds: DifferenceSet, t: int) -> BlockDesign:
+    """Map every line of the developed design through ``x -> t*x mod v``.
+
+    Point *positions* are preserved: the j-th point of line ``L_y`` maps to
+    the j-th point of oval ``O_y``, exactly the correspondence the paper's
+    substitution relies on.  ``t`` must be a unit modulo ``v`` so the map
+    is invertible.
+    """
+    if gcd(t, ds.v) != 1:
+        raise DesignError(f"multiplier {t} is not invertible modulo {ds.v}")
+    blocks = tuple(
+        tuple((t * point) % ds.v for point in ds.line(y)) for y in range(ds.v)
+    )
+    return BlockDesign(v=ds.v, blocks=blocks, lam=ds.lam)
+
+
+def oval_table(ds: DifferenceSet, t: int) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """The paper's side-by-side table: ``(line, oval)`` per row.
+
+    For the (13,4,1) design with ``t = 7``, row 0 is
+    ``((0, 1, 3, 9), (0, 7, 8, 11))`` -- matching the printed table.
+    """
+    if gcd(t, ds.v) != 1:
+        raise DesignError(f"multiplier {t} is not invertible modulo {ds.v}")
+    table = []
+    for y in range(ds.v):
+        line = ds.line(y)
+        oval = tuple((t * point) % ds.v for point in line)
+        table.append((line, oval))
+    return table
+
+
+def is_oval(plane: ProjectivePlane, points: Sequence[int]) -> bool:
+    """True iff no three of the given plane points are collinear.
+
+    An oval proper has exactly ``q + 1`` points (odd ``q``); this predicate
+    checks the defining arc property for any point set, which is what the
+    paper's definition asks for.
+    """
+    pts = list(points)
+    if len(set(pts)) != len(pts):
+        return False
+    for trio in combinations(pts, 3):
+        if plane.are_collinear(trio):
+            return False
+    return True
+
+
+def conic_points(plane: ProjectivePlane) -> list[int]:
+    """The conic ``{(1, s, s^2) : s in GF(q)} + {(0, 0, 1)}`` as indices.
+
+    For odd ``q`` this is the classical (q+1)-point oval; for ``q = 2^e``
+    it is a (q+1)-arc that extends to a hyperoval.  Either way no three of
+    its points are collinear, so it witnesses that ovals of the paper's
+    size exist in the plane.
+    """
+    f = plane.field
+    points = [plane.point_index((1, s, f.mul(s, s))) for s in f.elements()]
+    points.append(plane.point_index((0, 0, 1)))
+    return points
+
+
+def count_collinear_triples(plane: ProjectivePlane, points: Sequence[int]) -> int:
+    """Number of collinear triples within ``points`` (0 for an oval)."""
+    return sum(
+        1 for trio in combinations(points, 3) if plane.are_collinear(trio)
+    )

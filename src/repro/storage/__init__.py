@@ -1,0 +1,29 @@
+"""Simulated secondary storage.
+
+The paper's schemes live at the *"low level, close to the disk-write stage
+of the B-Tree node blocks and data blocks"*; the authors assume an
+on-the-fly (hardware) encipherment module between main memory and the
+physical disk.  This package simulates that boundary:
+
+* :mod:`repro.storage.disk` -- a block device with read/write accounting
+  and an optional encipherment transform applied exactly at the
+  read/write boundary (the hardware module's position);
+* :mod:`repro.storage.pager` -- block allocation plus an LRU cache of
+  *raw* (still-enciphered) blocks, so cryptographic costs stay faithful
+  while disk traffic is still realistic;
+* :mod:`repro.storage.layout` -- triplet/node sizing arithmetic used by
+  the storage-overhead experiment (C2).
+"""
+
+from repro.storage.disk import BlockTransform, DiskStats, SimulatedDisk
+from repro.storage.layout import NodeLayout, TripletLayout
+from repro.storage.pager import Pager
+
+__all__ = [
+    "BlockTransform",
+    "DiskStats",
+    "NodeLayout",
+    "Pager",
+    "SimulatedDisk",
+    "TripletLayout",
+]

@@ -1,0 +1,157 @@
+"""A simulated block device with an encipherment hook at the I/O boundary.
+
+Bayer and Metzger *"suggest the use of [a] hardware encryption module to
+perform this 'on-the-fly' encryption and decryption"* as blocks cross the
+memory/disk boundary.  :class:`SimulatedDisk` reproduces that architecture:
+an optional :class:`BlockTransform` is applied to every block on write and
+inverted on every read, and the device keeps complete I/O statistics so
+experiments can report exact counts.
+
+The device also exposes :meth:`raw_block`, the attacker's view: the bytes
+actually resting on the platter, *without* the transform -- this feeds the
+shape-reconstruction analysis (experiment C5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.exceptions import BlockBoundsError, StorageError
+
+
+class BlockTransform(Protocol):
+    """The on-the-fly encipherment module between memory and disk."""
+
+    def on_write(self, block_id: int, data: bytes) -> bytes:
+        """Transform plain block bytes into their at-rest form."""
+        ...
+
+    def on_read(self, block_id: int, data: bytes) -> bytes:
+        """Invert :meth:`on_write`."""
+        ...
+
+
+@dataclass
+class DiskStats:
+    """Counters for physical block traffic."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+
+@dataclass
+class _PageKeyTransform:
+    """Adapter turning a page-key scheme into a :class:`BlockTransform`."""
+
+    encrypt: Callable[[int, bytes], bytes]
+    decrypt: Callable[[int, bytes], bytes]
+
+    def on_write(self, block_id: int, data: bytes) -> bytes:
+        return self.encrypt(block_id, data)
+
+    def on_read(self, block_id: int, data: bytes) -> bytes:
+        return self.decrypt(block_id, data)
+
+
+def transform_from_page_key_scheme(scheme) -> BlockTransform:
+    """Wrap a :class:`repro.crypto.pagekey.PageKeyScheme` as a transform."""
+    return _PageKeyTransform(encrypt=scheme.encrypt_page, decrypt=scheme.decrypt_page)
+
+
+class SimulatedDisk:
+    """A growable array of fixed-size blocks with I/O accounting.
+
+    Parameters
+    ----------
+    block_size:
+        Capacity of each block in bytes.  Writes longer than this raise
+        :class:`BlockBoundsError` -- a real disk block cannot stretch, and
+        the enciphered layouts must prove they fit.
+    transform:
+        Optional encipherment module applied at the I/O boundary.  When a
+        transform expands data (padding), the *expanded* form must fit the
+        block, exactly as it would on hardware.
+    """
+
+    def __init__(self, block_size: int = 4096, transform: BlockTransform | None = None) -> None:
+        if block_size < 16:
+            raise StorageError(f"block size {block_size} is unrealistically small")
+        self.block_size = block_size
+        self.transform = transform
+        self.stats = DiskStats()
+        self._blocks: list[bytes | None] = []
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Reserve a fresh block and return its id."""
+        self._blocks.append(None)
+        return len(self._blocks) - 1
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of allocated blocks (including never-written ones)."""
+        return len(self._blocks)
+
+    def _check_id(self, block_id: int) -> None:
+        if not 0 <= block_id < len(self._blocks):
+            raise BlockBoundsError(
+                f"block {block_id} outside device of {len(self._blocks)} blocks",
+                block_id=block_id,
+            )
+
+    # -- I/O -----------------------------------------------------------------
+
+    def write_block(self, block_id: int, data: bytes) -> None:
+        """Write plain bytes; the transform runs before the platter."""
+        self._check_id(block_id)
+        stored = self.transform.on_write(block_id, data) if self.transform else data
+        if len(stored) > self.block_size:
+            raise BlockBoundsError(
+                f"payload of {len(stored)} bytes overflows {self.block_size}-byte block",
+                block_id=block_id,
+            )
+        self._blocks[block_id] = stored
+        self.stats.writes += 1
+        self.stats.bytes_written += len(stored)
+
+    def read_block(self, block_id: int) -> bytes:
+        """Read a block; the transform is inverted after the platter."""
+        self._check_id(block_id)
+        stored = self._blocks[block_id]
+        if stored is None:
+            raise BlockBoundsError(f"block {block_id} was never written", block_id=block_id)
+        self.stats.reads += 1
+        self.stats.bytes_read += len(stored)
+        return self.transform.on_read(block_id, stored) if self.transform else stored
+
+    # -- the attacker's view ---------------------------------------------
+
+    def raw_block(self, block_id: int) -> bytes:
+        """Bytes at rest, as an opponent reading the platter sees them.
+
+        Bypasses the transform and the statistics: the attacker does not
+        announce their reads.
+        """
+        self._check_id(block_id)
+        stored = self._blocks[block_id]
+        if stored is None:
+            raise BlockBoundsError(f"block {block_id} was never written", block_id=block_id)
+        return stored
+
+    def raw_blocks(self) -> list[tuple[int, bytes]]:
+        """Every written block, in platter order -- the full dump."""
+        return [
+            (block_id, data)
+            for block_id, data in enumerate(self._blocks)
+            if data is not None
+        ]

@@ -1,0 +1,119 @@
+"""Triplet and node sizing arithmetic.
+
+Section 4.2 argues that encrypting search keys *"will result in triplets
+that consume large storage spaces on the node blocks.  Fewer triplets can
+be fitted onto a given node block, and the depth of the B-Tree would then
+increase substantially."*  Experiment C2 quantifies that argument, and
+this module holds the arithmetic it needs: bytes per triplet under each
+scheme, triplets per block, and the resulting minimum tree depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log
+
+from repro.exceptions import StorageError
+
+
+def bytes_for_value(max_value: int) -> int:
+    """Bytes needed to store integers in ``[0, max_value]``."""
+    if max_value < 0:
+        raise StorageError(f"max value must be non-negative, got {max_value}")
+    return max(1, (max_value.bit_length() + 7) // 8)
+
+
+@dataclass(frozen=True)
+class TripletLayout:
+    """Byte widths of one ``(search key, data pointer, tree pointer)`` triplet.
+
+    ``key_bytes`` is the *stored* key width: the plaintext width for an
+    unprotected tree, the disguised width (bounded by ``v`` or ``N``) for
+    the substitution schemes, or a full cryptogram width when keys are
+    encrypted outright.  ``pointer_cryptogram_bytes`` is the width of the
+    single cryptogram ``E(b || a || p)`` holding both pointers; for
+    plaintext layouts it is simply the two raw pointer widths.
+    """
+
+    key_bytes: int
+    pointer_cryptogram_bytes: int
+
+    @property
+    def triplet_bytes(self) -> int:
+        """Total stored width of one triplet."""
+        return self.key_bytes + self.pointer_cryptogram_bytes
+
+
+@dataclass(frozen=True)
+class NodeLayout:
+    """How many triplets fit a node block, and what tree that implies.
+
+    A node holding ``n`` triplets stores ``n`` keys, ``n`` pointer
+    cryptograms, one extra tree pointer (the paper: *"A node block with n
+    triplets would have n+1 search keys, n tree pointers and n data
+    pointers"* -- we follow the standard reading of n keys and n+1 tree
+    pointers) and a small header.
+    """
+
+    block_size: int
+    triplet: TripletLayout
+    header_bytes: int = 8
+
+    @property
+    def max_triplets(self) -> int:
+        """Largest ``n`` such that the node fits the block."""
+        # block >= header + extra pointer cryptogram + n * triplet
+        available = self.block_size - self.header_bytes - self.triplet.pointer_cryptogram_bytes
+        n = available // self.triplet.triplet_bytes
+        if n < 2:
+            raise StorageError(
+                f"block of {self.block_size} B holds only {n} triplets of "
+                f"{self.triplet.triplet_bytes} B; B-Tree needs >= 2"
+            )
+        return n
+
+    @property
+    def fanout(self) -> int:
+        """Maximum children per node (``max_triplets + 1``)."""
+        return self.max_triplets + 1
+
+    def min_depth_for(self, records: int) -> int:
+        """Minimum B-Tree height (levels of node blocks) for ``records``.
+
+        A tree of height ``h`` with fanout ``f`` indexes at most
+        ``f^h - 1`` keys when every node is full; we report the smallest
+        ``h`` with ``f^h - 1 >= records``.
+        """
+        if records < 1:
+            return 0
+        f = self.fanout
+        h = ceil(log(records + 1) / log(f))
+        while f**h - 1 < records:
+            h += 1
+        return h
+
+
+def plaintext_triplet(max_key: int, max_pointer: int) -> TripletLayout:
+    """Layout of an unprotected triplet (baseline for C2)."""
+    return TripletLayout(
+        key_bytes=bytes_for_value(max_key),
+        pointer_cryptogram_bytes=2 * bytes_for_value(max_pointer),
+    )
+
+
+def substituted_triplet(disguise_bound: int, cryptogram_bytes: int) -> TripletLayout:
+    """Layout when keys are disguised (bounded by ``v`` or ``N``) and the
+    two pointers live in one cryptogram of ``cryptogram_bytes``."""
+    return TripletLayout(
+        key_bytes=bytes_for_value(disguise_bound - 1),
+        pointer_cryptogram_bytes=cryptogram_bytes,
+    )
+
+
+def encrypted_key_triplet(cryptogram_bytes: int) -> TripletLayout:
+    """Layout when the key is *encrypted* too: two cryptograms per triplet
+    (one for the key, one for the pointer pair)."""
+    return TripletLayout(
+        key_bytes=cryptogram_bytes,
+        pointer_cryptogram_bytes=cryptogram_bytes,
+    )

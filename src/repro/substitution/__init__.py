@@ -1,0 +1,37 @@
+"""Search-key disguising schemes -- the paper's primary contribution.
+
+Instead of encrypting B-Tree search keys, the paper *disguises* them with
+an invertible map built from a combinatorial block design, so that a
+legal user navigates nodes with cheap arithmetic (no decryptions) while
+an opponent cannot associate the stored keys with the encrypted pointers.
+
+* :class:`~repro.substitution.oval.OvalSubstitution` -- §4.1, points on
+  lines renumbered to points on ovals: ``k' = k*t mod v``;
+* :class:`~repro.substitution.exponentiation.ExponentiationSubstitution`
+  -- §4.2, treatments as exponents of a secret primitive element of Z_N;
+* :class:`~repro.substitution.sums.SumSubstitution` -- §4.3, cumulative
+  sums of line treatments: order-preserving, so the B-Tree keeps its
+  exact shape and even a high-level security filter can use it;
+* :class:`~repro.substitution.encrypted.EncryptedKeySubstitution` -- the
+  baseline the paper argues *against*: keys encrypted outright;
+* :class:`~repro.substitution.identity.IdentitySubstitution` -- the null
+  disguise, for plaintext baselines.
+"""
+
+from repro.substitution.base import KeySubstitution, SubstitutionCounters
+from repro.substitution.identity import IdentitySubstitution
+from repro.substitution.oval import OvalSubstitution
+from repro.substitution.exponentiation import ExponentiationSubstitution
+from repro.substitution.sums import RankedSumSubstitution, SumSubstitution
+from repro.substitution.encrypted import EncryptedKeySubstitution
+
+__all__ = [
+    "EncryptedKeySubstitution",
+    "ExponentiationSubstitution",
+    "IdentitySubstitution",
+    "KeySubstitution",
+    "OvalSubstitution",
+    "RankedSumSubstitution",
+    "SubstitutionCounters",
+    "SumSubstitution",
+]

@@ -1,0 +1,112 @@
+"""The common interface of every key-disguising scheme.
+
+A scheme maps plaintext search keys (integers) to stored *substitutes*
+and back.  Beyond the two maps, the interface captures the quantities the
+paper's arguments rely on:
+
+* whether the scheme is **order-preserving** (§4.3's sum substitution is;
+  the others are not) -- this decides whether the substituted tree keeps
+  the plaintext tree's shape;
+* the **size of the secret material** -- the paper's headline advantage
+  over conversion tables: *"the only information that has to be kept
+  secret are the parameters {v, k, lambda} of the block design, the first
+  line L0 and the mapping from the lines to ovals"*;
+* the **bound on substitute values** -- which fixes the stored key width
+  and hence the node fanout (experiment C2);
+* operation counters, so traversal experiments can report substitutions
+  performed instead of decryptions avoided.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass
+class SubstitutionCounters:
+    """Tally of disguise operations (cheap arithmetic, not decryptions)."""
+
+    substitutions: int = 0
+    inversions: int = 0
+
+    def reset(self) -> None:
+        self.substitutions = 0
+        self.inversions = 0
+
+    @property
+    def total(self) -> int:
+        return self.substitutions + self.inversions
+
+
+class KeySubstitution(ABC):
+    """Invertible disguise ``f`` applied to search keys before disk write."""
+
+    #: Human-readable scheme name (used in benchmark tables).
+    name: str = "abstract"
+
+    #: True iff ``a < b  =>  f(a) < f(b)`` over the key universe.
+    order_preserving: bool = False
+
+    def __init__(self) -> None:
+        self.counters = SubstitutionCounters()
+
+    # -- the two maps ------------------------------------------------------
+
+    def substitute(self, key: int) -> int:
+        """Disguise ``key``; raises ``KeyUniverseError`` outside the universe."""
+        self.counters.substitutions += 1
+        return self._substitute(key)
+
+    def invert(self, stored: int) -> int:
+        """Recover the plaintext key from its stored substitute."""
+        self.counters.inversions += 1
+        return self._invert(stored)
+
+    @abstractmethod
+    def _substitute(self, key: int) -> int: ...
+
+    @abstractmethod
+    def _invert(self, stored: int) -> int: ...
+
+    # -- accounting ----------------------------------------------------------
+
+    @abstractmethod
+    def key_universe(self) -> range:
+        """The plaintext keys this scheme can disguise."""
+
+    @abstractmethod
+    def max_substitute(self) -> int:
+        """Inclusive upper bound on substitute values (stored key width)."""
+
+    @abstractmethod
+    def secret_material(self) -> dict[str, object]:
+        """The values that must be kept secret, by name."""
+
+    def secret_size_bytes(self) -> int:
+        """Total bytes of secret material (the smartcard payload).
+
+        Integers count their minimal byte width; tuples count each entry.
+        """
+        total = 0
+        for value in self.secret_material().values():
+            if isinstance(value, int):
+                total += max(1, (value.bit_length() + 7) // 8)
+            elif isinstance(value, (tuple, list)):
+                for item in value:
+                    total += max(1, (int(item).bit_length() + 7) // 8)
+            else:
+                raise TypeError(f"unaccountable secret of type {type(value)!r}")
+        return total
+
+    # -- conveniences ----------------------------------------------------
+
+    def substitute_many(self, keys: list[int]) -> list[int]:
+        """Disguise a list of keys (counted individually)."""
+        return [self.substitute(k) for k in keys]
+
+    def reset_counters(self) -> None:
+        self.counters.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,59 @@
+"""The baseline the paper argues against: encrypting search keys outright.
+
+§4.2: *"Although the encryption of the search keys provides the best
+security, it is disadvantageous in terms of the resulting cryptograms
+that have to be substituted for the search keys ... Fewer triplets can be
+fitted onto a given node block, and the depth of the B-Tree would then
+increase substantially."*
+
+This scheme wraps any :class:`~repro.crypto.base.IntegerCipher` (RSA in
+the paper's setting).  Each ``substitute`` is a real encryption and each
+``invert`` a real decryption, so traversal-cost experiments charge it
+honestly; and ``max_substitute`` is the full modulus, so the storage
+experiment (C2) sees the fanout collapse the paper predicts.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.base import IntegerCipher
+from repro.crypto.rsa import RSA
+from repro.exceptions import KeyUniverseError
+from repro.substitution.base import KeySubstitution
+
+
+class EncryptedKeySubstitution(KeySubstitution):
+    """``f = E`` -- the disguise *is* the cipher."""
+
+    name = "encrypted-key"
+    order_preserving = False
+
+    def __init__(self, cipher: IntegerCipher, key_bound: int | None = None) -> None:
+        super().__init__()
+        self.cipher = cipher
+        self.key_bound = key_bound if key_bound is not None else cipher.modulus
+        if not 1 <= self.key_bound <= cipher.modulus:
+            raise KeyUniverseError(self.key_bound, f"[1, {cipher.modulus}]")
+
+    def _substitute(self, key: int) -> int:
+        if not 0 <= key < self.key_bound:
+            raise KeyUniverseError(key, f"[0, {self.key_bound})")
+        return self.cipher.encrypt_int(key)
+
+    def _invert(self, stored: int) -> int:
+        return self.cipher.decrypt_int(stored)
+
+    def key_universe(self) -> range:
+        return range(self.key_bound)
+
+    def max_substitute(self) -> int:
+        return self.cipher.modulus - 1
+
+    def secret_material(self) -> dict[str, object]:
+        inner = self.cipher
+        # unwrap counting decorators to reach key material
+        while hasattr(inner, "inner"):
+            inner = inner.inner
+        if isinstance(inner, RSA):
+            kp = inner.keypair
+            return {"n": kp.n, "e": kp.e, "d": kp.d}
+        return {"modulus": inner.modulus}

@@ -1,0 +1,210 @@
+"""§4.2 -- substitution using exponentiation modulus.
+
+Treatments of the block design act as *exponents* of a secret primitive
+element ``g`` of ``Z_N`` (``N`` prime, ``N >= v``):
+
+1. find a treatment ``e`` (a point on some line) with ``g^e = k (mod N)``
+   where ``k`` is the search key -- the paper scans lines from ``L0`` and
+   takes the first match;
+2. take the corresponding treatment on the oval, ``o = e * t mod v``;
+3. substitute ``k' = g^o mod N``.
+
+The paper's own example (``g = 7``, ``N = 13`` over the (13,4,1) design)
+has two quirks this implementation surfaces explicitly:
+
+* ``g^0 = g^(N-1) = 1``, so when ``N - 1 < v`` a key can match several
+  treatments; the paper's first-match scan rule disambiguates, and
+  :meth:`canonical_exponent` implements exactly that rule;
+* for the same reason the *whole map* can collide (two keys sharing one
+  substitute) when ``N - 1 < v``; :meth:`is_injective` reports this, and
+  choosing ``N - 1 >= v``'s complement (``v >= N - 1``) with distinct
+  oval exponents -- or simply ``N - 1 >= v`` -- restores injectivity.
+  The enciphered tree refuses non-injective configurations.
+
+Secret material: the design, the multiplier ``t``, and ``g`` and ``N``
+(*"the value of g and N must be kept secret, in addition to the secret
+block design"*).
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+from repro.crypto.numbers import discrete_log, is_prime, is_primitive_root, modinv
+from repro.designs.difference_sets import DifferenceSet
+from repro.exceptions import CryptoError, KeyUniverseError, SubstitutionError
+from repro.substitution.base import KeySubstitution
+
+_MODES = ("direct", "scan")
+
+
+class ExponentiationSubstitution(KeySubstitution):
+    """Key disguise via ``k = g^e  ->  k' = g^(e*t mod v)  (mod N)``."""
+
+    name = "exponentiation"
+    order_preserving = False
+
+    def __init__(
+        self,
+        design: DifferenceSet,
+        t: int,
+        g: int,
+        n_modulus: int,
+        mode: str = "direct",
+    ) -> None:
+        super().__init__()
+        if mode not in _MODES:
+            raise SubstitutionError(f"mode must be one of {_MODES}, got {mode!r}")
+        if not is_prime(n_modulus):
+            raise SubstitutionError(f"N = {n_modulus} must be prime")
+        if n_modulus < design.v:
+            raise SubstitutionError(
+                f"N = {n_modulus} must not be less than v = {design.v} (paper §4.2)"
+            )
+        if not is_primitive_root(g, n_modulus):
+            raise SubstitutionError(
+                f"g = {g} is not a primitive element of Z_{n_modulus}"
+            )
+        if gcd(t % design.v, design.v) != 1:
+            raise SubstitutionError(
+                f"multiplier {t} is not a unit modulo {design.v}"
+            )
+        self.design = design
+        self.t = t % design.v
+        self.t_inverse = modinv(self.t, design.v)
+        self.g = g
+        self.n_modulus = n_modulus
+        self.mode = mode
+
+    # -- exponent bookkeeping ----------------------------------------------
+
+    @property
+    def group_order(self) -> int:
+        """Order of ``g``: ``N - 1`` since ``g`` is primitive."""
+        return self.n_modulus - 1
+
+    def _scan_rank(self, exponent: int) -> tuple[int, int]:
+        """Where the line scan first meets ``exponent``: (line, position).
+
+        Treatment ``e`` lies on line ``L_y`` iff ``(e - y) mod v`` is a
+        residue of the difference set; the first such line is the minimum
+        over residues of ``(e - d) mod v``.
+        """
+        v = self.design.v
+        y = min((exponent - d) % v for d in self.design.residues)
+        position = self.design.residues.index((exponent - y) % v)
+        return (y, position)
+
+    def canonical_exponent(self, key: int) -> int:
+        """The treatment the paper's first-match scan assigns to ``key``.
+
+        All treatments ``e < v`` with ``g^e = key (mod N)`` are candidates
+        (they differ by multiples of ``N - 1``); the one met earliest in
+        the ``L0, L1, ...`` scan wins.
+        """
+        if not 1 <= key < self.n_modulus:
+            raise KeyUniverseError(key, f"units of Z_{self.n_modulus}")
+        try:
+            base = discrete_log(self.g, key, self.n_modulus)
+        except CryptoError as exc:
+            raise KeyUniverseError(key, f"powers of {self.g} mod {self.n_modulus}") from exc
+        candidates = list(range(base, self.design.v, self.group_order))
+        if not candidates:
+            raise KeyUniverseError(
+                key, f"g^e with e < v = {self.design.v} (needed exponent {base})"
+            )
+        return min(candidates, key=self._scan_rank)
+
+    # -- substitution ----------------------------------------------------
+
+    def _substitute(self, key: int) -> int:
+        if self.mode == "scan":
+            return self._substitute_by_scan(key)
+        exponent = self.canonical_exponent(key)
+        oval_exponent = exponent * self.t % self.design.v
+        return pow(self.g, oval_exponent, self.n_modulus)
+
+    def _substitute_by_scan(self, key: int) -> int:
+        """The paper's literal procedure: generate lines, compare powers."""
+        if not 1 <= key < self.n_modulus:
+            raise KeyUniverseError(key, f"units of Z_{self.n_modulus}")
+        for y in range(self.design.v):
+            for point in self.design.line(y):
+                if pow(self.g, point, self.n_modulus) == key:
+                    oval_exponent = point * self.t % self.design.v
+                    return pow(self.g, oval_exponent, self.n_modulus)
+        raise KeyUniverseError(key, f"powers of {self.g} on any line (v={self.design.v})")
+
+    def _invert(self, stored: int) -> int:
+        """Recover the key: undo the oval map on the exponent.
+
+        When ``N - 1 < v`` several oval exponents encode ``stored``; each
+        candidate is checked against the forward map so that inversion is
+        exact on every canonical substitute.
+        """
+        if not 1 <= stored < self.n_modulus:
+            raise KeyUniverseError(stored, f"units of Z_{self.n_modulus}")
+        base = discrete_log(self.g, stored, self.n_modulus)
+        for oval_exponent in range(base, self.design.v, self.group_order):
+            exponent = oval_exponent * self.t_inverse % self.design.v
+            key = pow(self.g, exponent, self.n_modulus)
+            if self._substitute(key) == stored:
+                return key
+        raise SubstitutionError(f"{stored} is not a substitute of any key")
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def is_injective(self) -> bool:
+        """True iff no two keys share a substitute.
+
+        Guaranteed when ``v <= N - 1`` (each key has one candidate
+        exponent below ``v``... the clean regime) -- but checked
+        exhaustively, because the paper's own ``N = v = 13`` example sits
+        in the degenerate regime.
+        """
+        seen: dict[int, int] = {}
+        for key in self.representable_keys():
+            sub = pow(
+                self.g,
+                self.canonical_exponent(key) * self.t % self.design.v,
+                self.n_modulus,
+            )
+            if sub in seen and seen[sub] != key:
+                return False
+            seen[sub] = key
+        return True
+
+    def representable_keys(self) -> list[int]:
+        """All keys ``g^e mod N`` for treatments ``e < v`` (sorted)."""
+        limit = min(self.design.v, self.group_order)
+        keys = {pow(self.g, e, self.n_modulus) for e in range(limit)}
+        if self.design.v > self.group_order:
+            # exponents wrap the group order; they add no new keys
+            pass
+        return sorted(keys)
+
+    def key_universe(self) -> range:
+        """Dense key range when every unit is representable, else minimal.
+
+        When ``v >= N - 1`` every unit ``1..N-1`` is a power of ``g`` with
+        exponent below ``v``, so the universe is the full unit range.
+        """
+        if self.design.v >= self.group_order:
+            return range(1, self.n_modulus)
+        raise SubstitutionError(
+            "universe is a sparse subset (v < N-1); use representable_keys()"
+        )
+
+    def max_substitute(self) -> int:
+        return self.n_modulus - 1
+
+    def secret_material(self) -> dict[str, object]:
+        return {
+            "v": self.design.v,
+            "k": self.design.k,
+            "lambda": self.design.lam,
+            "first_line": self.design.residues,
+            "multiplier": self.t,
+            "g": self.g,
+            "N": self.n_modulus,
+        }

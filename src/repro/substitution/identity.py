@@ -1,0 +1,42 @@
+"""The null disguise, used by plaintext baselines."""
+
+from __future__ import annotations
+
+from repro.exceptions import KeyUniverseError
+from repro.substitution.base import KeySubstitution
+
+
+class IdentitySubstitution(KeySubstitution):
+    """``f(k) = k`` over ``[0, bound)``.
+
+    Trivially order-preserving; keeps no secret.  The plaintext B-Tree the
+    paper's Figure 1 shows "before" substitution uses exactly this.
+    """
+
+    name = "identity"
+    order_preserving = True
+
+    def __init__(self, bound: int = 1 << 63) -> None:
+        super().__init__()
+        if bound < 1:
+            raise KeyUniverseError(bound, "empty identity universe")
+        self.bound = bound
+
+    def _substitute(self, key: int) -> int:
+        if not 0 <= key < self.bound:
+            raise KeyUniverseError(key, f"[0, {self.bound})")
+        return key
+
+    def _invert(self, stored: int) -> int:
+        if not 0 <= stored < self.bound:
+            raise KeyUniverseError(stored, f"[0, {self.bound})")
+        return stored
+
+    def key_universe(self) -> range:
+        return range(self.bound)
+
+    def max_substitute(self) -> int:
+        return self.bound - 1
+
+    def secret_material(self) -> dict[str, object]:
+        return {}

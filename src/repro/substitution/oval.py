@@ -1,0 +1,123 @@
+"""§4.1 -- substitution using treatments on ovals.
+
+The search keys are identified with the treatments (point integers) of a
+``{v, k, lambda}`` design developed from a difference set; the disguise
+replaces each key by *"the equivalent point on the oval"* obtained by
+multiplying the line points by a secret unit ``t`` modulo ``v``.  Net
+effect: ``k' = k * t mod v``, inverted by ``k = k' * t^{-1} mod v``.
+
+Two operating modes are provided and property-tested to agree:
+
+* ``direct`` -- the modular-arithmetic shortcut a real implementation
+  would use (one multiplication per key);
+* ``scan`` -- the paper's literal procedure: *"The substitution of a
+  given search key is performed starting with line L0.  The k points on
+  the line are compared with the search key.  If none of the points on
+  the line matches the search key, the next line L1 is generated..."* --
+  useful for fidelity checks and for the C6 ablation of scan cost.
+
+Secret material: the design parameters ``{v, k, lambda}``, the first line
+``L0`` (the difference set residues) and the multiplier ``t``.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+from repro.crypto.numbers import modinv
+from repro.designs.difference_sets import DifferenceSet
+from repro.exceptions import KeyUniverseError, SubstitutionError
+from repro.substitution.base import KeySubstitution
+
+_MODES = ("direct", "scan")
+
+
+class OvalSubstitution(KeySubstitution):
+    """Line-to-oval renumbering of search keys: ``k' = k*t mod v``."""
+
+    name = "oval"
+    order_preserving = False
+
+    def __init__(
+        self,
+        design: DifferenceSet,
+        t: int,
+        mode: str = "direct",
+        reject_design_multipliers: bool = False,
+    ) -> None:
+        super().__init__()
+        if mode not in _MODES:
+            raise SubstitutionError(f"mode must be one of {_MODES}, got {mode!r}")
+        if gcd(t % design.v, design.v) != 1:
+            raise SubstitutionError(
+                f"multiplier {t} is not a unit modulo {design.v}; map not invertible"
+            )
+        if reject_design_multipliers:
+            from repro.designs.multipliers import is_numerical_multiplier
+
+            if is_numerical_multiplier(design, t % design.v):
+                raise SubstitutionError(
+                    f"t = {t} is a numerical multiplier of the design: the "
+                    "'oval' system would be the line system itself (see "
+                    "repro.designs.multipliers); choose t from "
+                    "non_multiplier_units(design)"
+                )
+        self.design = design
+        self.t = t % design.v
+        self.t_inverse = modinv(self.t, design.v)
+        self.mode = mode
+
+    # -- substitution ----------------------------------------------------
+
+    def _substitute(self, key: int) -> int:
+        if not 0 <= key < self.design.v:
+            raise KeyUniverseError(key, f"Z_{self.design.v}")
+        if self.mode == "scan":
+            return self._substitute_by_scan(key)
+        return key * self.t % self.design.v
+
+    def _substitute_by_scan(self, key: int) -> int:
+        """The paper's literal line-generation procedure."""
+        for y in range(self.design.v):
+            line = self.design.line(y)
+            for position, point in enumerate(line):
+                if point == key:
+                    # generate the oval for this line; take the same position
+                    oval = tuple(p * self.t % self.design.v for p in line)
+                    return oval[position]
+        raise SubstitutionError(
+            f"key {key} not found on any line of the design (v={self.design.v})"
+        )
+
+    def scan_lines_needed(self, key: int) -> int:
+        """Number of lines generated before the scan finds ``key``.
+
+        The first line through ``key`` is ``L_y`` with
+        ``y = min((key - d) mod v for d in D)``; the scan generates
+        ``y + 1`` lines.  Feeds the C6 scan-vs-direct ablation.
+        """
+        if not 0 <= key < self.design.v:
+            raise KeyUniverseError(key, f"Z_{self.design.v}")
+        return min((key - d) % self.design.v for d in self.design.residues) + 1
+
+    def _invert(self, stored: int) -> int:
+        if not 0 <= stored < self.design.v:
+            raise KeyUniverseError(stored, f"Z_{self.design.v}")
+        return stored * self.t_inverse % self.design.v
+
+    # -- accounting ----------------------------------------------------------
+
+    def key_universe(self) -> range:
+        return range(self.design.v)
+
+    def max_substitute(self) -> int:
+        return self.design.v - 1
+
+    def secret_material(self) -> dict[str, object]:
+        return {
+            "v": self.design.v,
+            "k": self.design.k,
+            "lambda": self.design.lam,
+            "first_line": self.design.residues,
+            "multiplier": self.t,
+        }

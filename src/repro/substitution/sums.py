@@ -1,0 +1,233 @@
+"""§4.3 -- substitution using the sum of treatments in blocks.
+
+Each search key is associated with a whole *line* of the design rather
+than a single point: key ``x`` gets line ``L_{w+x}`` for a secret starting
+index ``w``, and is substituted by the running total of every integer
+treatment from ``L_w`` through ``L_{w+x}`` (no modular reduction).
+
+Because every line sum is positive, the running totals are strictly
+increasing: *"the corresponding substitute search keys ... is a set of
+integers maintaining that ascending order"*.  The substituted B-Tree
+therefore has **exactly** the plaintext tree's shape (Figure 3), and the
+scheme can run inside a high-level security filter in front of an
+unmodifiable DBMS -- the paper's §4.3 deployment, realised in
+:class:`repro.core.security_filter.SecurityFilter`.
+
+For the paper's (13,4,1) design with ``w = 0`` the substitutes are
+13, 30, 51, 76, 92, 112, 136, 164, 196, 232, 259, 290, 312.
+
+Substitution uses the closed form in
+:meth:`repro.designs.difference_sets.DifferenceSet.cumulative_line_sum`
+(O(k) per key); inversion binary-searches the monotone map.
+"""
+
+from __future__ import annotations
+
+from repro.designs.difference_sets import DifferenceSet
+from repro.exceptions import KeyUniverseError, SubstitutionError
+from repro.substitution.base import KeySubstitution
+
+
+class SumSubstitution(KeySubstitution):
+    """Order-preserving disguise via cumulative treatment sums."""
+
+    name = "sum-of-treatments"
+    order_preserving = True
+
+    def __init__(
+        self,
+        design: DifferenceSet,
+        start_line: int = 0,
+        num_keys: int | None = None,
+    ) -> None:
+        super().__init__()
+        if not 0 <= start_line < design.v:
+            raise SubstitutionError(
+                f"starting line w={start_line} outside [0, {design.v})"
+            )
+        max_keys = design.v - start_line
+        if start_line > 0:
+            # paper: w + R < v - 1 keeps the window clear of wrapping into L0
+            max_keys = design.v - 1 - start_line
+        if num_keys is None:
+            num_keys = max_keys
+        if not 1 <= num_keys <= max_keys:
+            raise SubstitutionError(
+                f"window of {num_keys} keys from L_{start_line} exceeds v={design.v}"
+            )
+        self.design = design
+        self.start_line = start_line
+        self.num_keys = num_keys
+
+    # -- substitution ----------------------------------------------------
+
+    def _substitute(self, key: int) -> int:
+        if not 0 <= key < self.num_keys:
+            raise KeyUniverseError(key, f"[0, {self.num_keys})")
+        return self.design.cumulative_line_sum(
+            self.start_line, self.start_line + key
+        )
+
+    def _invert(self, stored: int) -> int:
+        """Binary search the strictly increasing substitute sequence."""
+        lo, hi = 0, self.num_keys - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            value = self.design.cumulative_line_sum(
+                self.start_line, self.start_line + mid
+            )
+            if value == stored:
+                return mid
+            if value < stored:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        raise SubstitutionError(f"{stored} is not a substitute of any key")
+
+    def substitute_lower_bound(self, key: int) -> int:
+        """Substitute for range endpoints that may lie between keys.
+
+        Clamps ``key`` into the universe so that filters can translate
+        arbitrary query ranges: order preservation makes the clamped
+        substitute a correct comparison proxy.
+        """
+        clamped = min(max(key, 0), self.num_keys - 1)
+        return self.design.cumulative_line_sum(
+            self.start_line, self.start_line + clamped
+        )
+
+    # -- accounting ----------------------------------------------------------
+
+    def key_universe(self) -> range:
+        return range(self.num_keys)
+
+    def max_substitute(self) -> int:
+        return self.design.cumulative_line_sum(
+            self.start_line, self.start_line + self.num_keys - 1
+        )
+
+    def substitute_table(self) -> list[tuple[int, tuple[int, ...], int]]:
+        """Rows ``(key, line, substitute)`` -- the paper's §4.3 table."""
+        return [
+            (
+                key,
+                self.design.line(self.start_line + key),
+                self.substitute(key),
+            )
+            for key in range(self.num_keys)
+        ]
+
+    def secret_material(self) -> dict[str, object]:
+        return {
+            "v": self.design.v,
+            "k": self.design.k,
+            "lambda": self.design.lam,
+            "first_line": self.design.residues,
+            "start_line": self.start_line,
+        }
+
+
+class RankedSumSubstitution(KeySubstitution):
+    """§4.3's rank-based reading: the i-th *smallest existing* key gets
+    line ``L_{w+i}``.
+
+    The paper assigns lines to "a given set of unique search keys in an
+    ascending order of size".  This variant implements that reading
+    literally: it is built from an explicit census of the keys and maps
+    rank -> cumulative line sum.  It handles arbitrary (sparse, huge)
+    key values, at two costs the fixed-universe
+    :class:`SumSubstitution` avoids:
+
+    * the census itself becomes part of the secret state -- precisely the
+      "conversion table" the paper is proud of not needing;
+    * inserting a new key can shift every rank above it, forcing
+      re-substitution (so it suits static or append-mostly data).
+
+    Both variants are order-preserving and produce the same value
+    sequence over a dense key range.
+    """
+
+    name = "ranked-sum-of-treatments"
+    order_preserving = True
+
+    def __init__(
+        self,
+        design: DifferenceSet,
+        keys: "list[int]",
+        start_line: int = 0,
+    ) -> None:
+        super().__init__()
+        census = sorted(set(keys))
+        if not census:
+            raise SubstitutionError("the key census is empty")
+        if not 0 <= start_line < design.v:
+            raise SubstitutionError(
+                f"starting line w={start_line} outside [0, {design.v})"
+            )
+        max_keys = design.v - start_line
+        if start_line > 0:
+            max_keys = design.v - 1 - start_line
+        if len(census) > max_keys:
+            raise SubstitutionError(
+                f"census of {len(census)} keys exceeds the window of "
+                f"{max_keys} lines from L_{start_line} (v={design.v})"
+            )
+        self.design = design
+        self.start_line = start_line
+        self._census = census
+        self._rank = {key: rank for rank, key in enumerate(census)}
+
+    def _value_at_rank(self, rank: int) -> int:
+        return self.design.cumulative_line_sum(
+            self.start_line, self.start_line + rank
+        )
+
+    def _substitute(self, key: int) -> int:
+        rank = self._rank.get(key)
+        if rank is None:
+            raise KeyUniverseError(key, f"census of {len(self._census)} keys")
+        return self._value_at_rank(rank)
+
+    def _invert(self, stored: int) -> int:
+        lo, hi = 0, len(self._census) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            value = self._value_at_rank(mid)
+            if value == stored:
+                return self._census[mid]
+            if value < stored:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        raise SubstitutionError(f"{stored} is not a substitute of any key")
+
+    def substitute_lower_bound(self, key: int) -> int:
+        """Order-correct proxy for range endpoints between census keys."""
+        import bisect
+
+        rank = bisect.bisect_left(self._census, key)
+        rank = min(max(rank, 0), len(self._census) - 1)
+        return self._value_at_rank(rank)
+
+    def key_universe(self) -> range:
+        raise SubstitutionError(
+            "the ranked variant has a sparse universe; use census_keys()"
+        )
+
+    def census_keys(self) -> list[int]:
+        """The keys this codebook covers, ascending."""
+        return list(self._census)
+
+    def max_substitute(self) -> int:
+        return self._value_at_rank(len(self._census) - 1)
+
+    def secret_material(self) -> dict[str, object]:
+        # the census is part of the secret: the trade-off this variant makes
+        return {
+            "v": self.design.v,
+            "k": self.design.k,
+            "lambda": self.design.lam,
+            "first_line": self.design.residues,
+            "start_line": self.start_line,
+            "census": tuple(self._census),
+        }

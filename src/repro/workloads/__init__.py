@@ -1,0 +1,22 @@
+"""Synthetic workload generation for the experiments.
+
+The paper has no published traces (it predates standard benchmarks), so
+all experiments run on deterministic synthetic workloads: key populations
+drawn from the disguise's universe, payload records, and query mixes.
+"""
+
+from repro.workloads.generators import (
+    KeyWorkload,
+    payloads_for,
+    point_queries,
+    range_queries,
+    sample_keys,
+)
+
+__all__ = [
+    "KeyWorkload",
+    "payloads_for",
+    "point_queries",
+    "range_queries",
+    "sample_keys",
+]

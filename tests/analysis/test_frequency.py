@@ -1,0 +1,97 @@
+"""Block-distinguishability metrics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.frequency import (
+    chi_square_distance,
+    classify_blocks_by_entropy,
+    distinguishability_report,
+    mean_pairwise_distance,
+    profile_block,
+    profile_disk,
+)
+from repro.exceptions import ReproError
+from repro.storage.disk import SimulatedDisk
+
+
+def _disk_with(blocks: list[bytes]) -> SimulatedDisk:
+    disk = SimulatedDisk(block_size=4096)
+    for data in blocks:
+        disk.write_block(disk.allocate(), data)
+    return disk
+
+
+def _random_bytes(n: int, seed: int = 0) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(n))
+
+
+class TestProfiles:
+    def test_profile_fields(self):
+        profile = profile_block(3, b"AAAA\x00\x00\x00\x00")
+        assert profile.block_id == 3
+        assert profile.size == 8
+        assert profile.zero_fraction == 0.5
+        assert profile.ascii_fraction == 0.5
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ReproError):
+            profile_block(0, b"")
+
+    def test_profile_disk(self):
+        disk = _disk_with([b"one block", b"two block"])
+        assert len(profile_disk(disk)) == 2
+
+
+class TestChiSquare:
+    def test_identical_distributions_near_zero(self):
+        a = _random_bytes(2000, seed=1)
+        b = _random_bytes(2000, seed=2)
+        assert chi_square_distance(a, b) < 0.2
+
+    def test_disjoint_distributions_large(self):
+        assert chi_square_distance(b"\x00" * 100, b"\xff" * 100) == 1.0
+
+    def test_symmetric(self):
+        a, b = b"hello world", b"HELLO WORLD"
+        assert chi_square_distance(a, b) == pytest.approx(chi_square_distance(b, a))
+
+    def test_mean_pairwise(self):
+        blocks = [_random_bytes(500, seed=i) for i in range(5)]
+        assert mean_pairwise_distance(blocks) < 0.5
+        with pytest.raises(ReproError):
+            mean_pairwise_distance(blocks[:1])
+
+
+class TestClassifier:
+    def test_entropy_classifier_labels(self):
+        profiles = [
+            profile_block(0, b"A" * 400),              # structured
+            profile_block(1, _random_bytes(400)),      # enciphered-looking
+        ]
+        labels = classify_blocks_by_entropy(profiles)
+        assert labels[0] == "structured"
+        assert labels[1] == "enciphered"
+
+    def test_report_separates_structured_from_random(self):
+        node_disk = _disk_with(
+            [b"\x00\x00\x01\x2a" * 100 + b"\x00" * 8 for _ in range(4)]
+        )
+        data_disk = _disk_with([_random_bytes(408, seed=i) for i in range(4)])
+        report = distinguishability_report(node_disk, data_disk)
+        assert report["accuracy"] == 1.0
+        assert report["node_zero_fraction"] > report["data_zero_fraction"]
+
+    def test_report_chance_for_identical_distributions(self):
+        node_disk = _disk_with([_random_bytes(400, seed=i) for i in range(6)])
+        data_disk = _disk_with([_random_bytes(400, seed=100 + i) for i in range(6)])
+        report = distinguishability_report(node_disk, data_disk)
+        assert report["accuracy"] <= 0.8  # near chance, allow sampling noise
+
+    def test_report_requires_blocks(self):
+        with pytest.raises(ReproError):
+            distinguishability_report(_disk_with([]), _disk_with([b"x"]))

@@ -1,0 +1,106 @@
+"""Analysis metrics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    byte_entropy,
+    count_inversions,
+    edge_precision_recall,
+    kendall_tau,
+    normalized_inversions,
+)
+from repro.exceptions import ReproError
+
+
+class TestInversions:
+    def test_sorted_has_none(self):
+        assert count_inversions([1, 2, 3, 4]) == 0
+        assert normalized_inversions([1, 2, 3, 4]) == 0.0
+
+    def test_reversed_has_all(self):
+        assert count_inversions([4, 3, 2, 1]) == 6
+        assert normalized_inversions([4, 3, 2, 1]) == 1.0
+
+    def test_known_case(self):
+        assert count_inversions([2, 1, 3]) == 1
+        assert count_inversions([3, 1, 2]) == 2
+
+    def test_short_inputs(self):
+        assert count_inversions([]) == 0
+        assert count_inversions([5]) == 0
+        assert normalized_inversions([5]) == 0.0
+
+    @given(st.lists(st.integers(0, 100), max_size=60))
+    @settings(max_examples=60)
+    def test_matches_quadratic_definition(self, values):
+        naive = sum(
+            1
+            for i in range(len(values))
+            for j in range(i + 1, len(values))
+            if values[i] > values[j]
+        )
+        assert count_inversions(values) == naive
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3, 4], [40, 30, 20, 10]) == -1.0
+
+    def test_random_near_zero(self):
+        rng = random.Random(0)
+        xs = list(range(500))
+        ys = xs[:]
+        rng.shuffle(ys)
+        assert abs(kendall_tau(xs, ys)) < 0.1
+
+    def test_invariant_to_input_order(self):
+        pairs = [(3, 30), (1, 10), (2, 40)]
+        t1 = kendall_tau([p for p, _ in pairs], [d for _, d in pairs])
+        pairs.reverse()
+        t2 = kendall_tau([p for p, _ in pairs], [d for _, d in pairs])
+        assert t1 == pytest.approx(t2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            kendall_tau([1, 2], [1])
+
+
+class TestEntropy:
+    def test_empty(self):
+        assert byte_entropy(b"") == 0.0
+
+    def test_constant(self):
+        assert byte_entropy(b"\x00" * 100) == 0.0
+
+    def test_uniform_is_max(self):
+        assert byte_entropy(bytes(range(256)) * 4) == pytest.approx(8.0)
+
+    def test_encrypted_higher_than_text(self):
+        from repro.crypto.des import DES
+        from repro.crypto.modes import CBCCipher
+
+        text = b"the quick brown fox jumps over the lazy dog " * 20
+        cipher = CBCCipher(DES(b"\x01" * 8), bytes(8)).encrypt(text)
+        assert byte_entropy(cipher) > byte_entropy(text) + 2.0
+
+
+class TestEdgeMetrics:
+    def test_perfect_guess(self):
+        edges = {(0, 1), (0, 2)}
+        assert edge_precision_recall(edges, edges) == (1.0, 1.0)
+
+    def test_partial(self):
+        assert edge_precision_recall({(0, 1), (5, 6)}, {(0, 1), (0, 2)}) == (0.5, 0.5)
+
+    def test_empty_guess(self):
+        assert edge_precision_recall(set(), {(0, 1)}) == (0.0, 0.0)
+        assert edge_precision_recall(set(), set()) == (0.0, 1.0)

@@ -1,0 +1,98 @@
+"""Plain node codec round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree.codec import PlainNodeCodec, decode_header, encode_header
+from repro.btree.node import Node
+from repro.exceptions import CodecError
+
+
+@pytest.fixture
+def codec():
+    return PlainNodeCodec(key_bytes=4, pointer_bytes=4)
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        node = Node(node_id=0, is_leaf=True, keys=[1], values=[2])
+        assert decode_header(bytes(encode_header(node))) == (True, 1)
+
+    def test_corrupt_flag_rejected(self):
+        with pytest.raises(CodecError):
+            decode_header(b"\x07\x00\x01")
+
+    def test_short_block_rejected(self):
+        with pytest.raises(CodecError):
+            decode_header(b"\x01")
+
+
+class TestPlainCodec:
+    def test_leaf_roundtrip(self, codec):
+        node = Node(node_id=3, is_leaf=True, keys=[1, 5, 9], values=[10, 50, 90])
+        view = codec.decode(3, codec.encode(node))
+        assert view.to_node() == node
+
+    def test_internal_roundtrip(self, codec):
+        node = Node(
+            node_id=7,
+            is_leaf=False,
+            keys=[4, 8],
+            values=[40, 80],
+            children=[1, 2, 3],
+        )
+        view = codec.decode(7, codec.encode(node))
+        assert view.to_node() == node
+        assert view.child_at(0) == 1 and view.child_at(2) == 3
+
+    def test_zero_ids_representable(self, codec):
+        node = Node(node_id=0, is_leaf=False, keys=[4], values=[0], children=[0, 1])
+        recovered = codec.decode(0, codec.encode(node)).to_node()
+        assert recovered.values == [0]
+        assert recovered.children == [0, 1]
+
+    def test_empty_node(self, codec):
+        node = Node(node_id=1, is_leaf=True)
+        assert codec.decode(1, codec.encode(node)).num_keys == 0
+
+    def test_view_accessors(self, codec):
+        node = Node(node_id=2, is_leaf=True, keys=[11, 22], values=[1, 2])
+        view = codec.decode(2, codec.encode(node))
+        assert view.num_keys == 2
+        assert view.key_at(1) == 22
+        assert view.stored_key_at(1) == 22  # plaintext: stored == plain
+        assert view.value_at(0) == 1
+
+    def test_oversized_field_rejected(self, codec):
+        node = Node(node_id=0, is_leaf=True, keys=[2**32], values=[0])
+        with pytest.raises(CodecError):
+            codec.encode(node)
+
+    def test_overhead_matches_encoding(self, codec):
+        for is_leaf in (True, False):
+            for n in (1, 3, 7):
+                node = Node(
+                    node_id=0,
+                    is_leaf=is_leaf,
+                    keys=list(range(1, n + 1)),
+                    values=[0] * n,
+                    children=[] if is_leaf else list(range(n + 1)),
+                )
+                assert len(codec.encode(node)) == codec.node_overhead_bytes(n, is_leaf)
+
+    @given(
+        st.lists(
+            st.integers(0, 2**31), min_size=1, max_size=20, unique=True
+        )
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, keys):
+        codec = PlainNodeCodec(key_bytes=8, pointer_bytes=4)
+        keys = sorted(keys)
+        node = Node(
+            node_id=9, is_leaf=True, keys=keys, values=list(range(len(keys)))
+        )
+        assert codec.decode(9, codec.encode(node)).to_node() == node

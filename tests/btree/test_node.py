@@ -1,0 +1,49 @@
+"""Node model invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.btree.node import Node
+from repro.exceptions import BTreeError
+
+
+class TestNodeCheck:
+    def test_valid_leaf(self):
+        Node(node_id=0, is_leaf=True, keys=[1, 2, 3], values=[10, 20, 30]).check()
+
+    def test_valid_internal(self):
+        Node(
+            node_id=0, is_leaf=False, keys=[5], values=[50], children=[1, 2]
+        ).check()
+
+    def test_values_must_parallel_keys(self):
+        with pytest.raises(BTreeError):
+            Node(node_id=0, is_leaf=True, keys=[1, 2], values=[10]).check()
+
+    def test_leaf_must_have_no_children(self):
+        with pytest.raises(BTreeError):
+            Node(node_id=0, is_leaf=True, keys=[1], values=[1], children=[2]).check()
+
+    def test_internal_child_count(self):
+        with pytest.raises(BTreeError):
+            Node(node_id=0, is_leaf=False, keys=[5], values=[5], children=[1]).check()
+
+    def test_keys_strictly_increasing(self):
+        with pytest.raises(BTreeError):
+            Node(node_id=0, is_leaf=True, keys=[2, 2], values=[1, 1]).check()
+        with pytest.raises(BTreeError):
+            Node(node_id=0, is_leaf=True, keys=[3, 1], values=[1, 1]).check()
+
+
+class TestTriplets:
+    def test_leaf_triplets(self):
+        node = Node(node_id=0, is_leaf=True, keys=[1, 2], values=[10, 20])
+        assert node.triplets() == [(1, 10, None), (2, 20, None)]
+
+    def test_internal_triplets_carry_left_children(self):
+        node = Node(
+            node_id=0, is_leaf=False, keys=[5, 9], values=[50, 90], children=[1, 2, 3]
+        )
+        assert node.triplets() == [(5, 50, 1), (9, 90, 2)]
+        # children[-1] == 3 is the unaccompanied tree pointer

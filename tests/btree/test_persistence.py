@@ -1,0 +1,91 @@
+"""Reopening trees from their at-rest blocks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.btree.codec import PlainNodeCodec
+from repro.btree.tree import BTree
+from repro.core.codecs import SubstitutedNodeCodec
+from repro.crypto.base import CountingCipher
+from repro.crypto.rsa import RSA, generate_rsa_keypair
+from repro.designs.difference_sets import planar_difference_set
+from repro.exceptions import BTreeError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import Pager
+from repro.substitution.oval import OvalSubstitution
+
+
+class TestAttachPlain:
+    def test_reopen_preserves_contents(self):
+        pager = Pager(SimulatedDisk(block_size=512), cache_blocks=8)
+        codec = PlainNodeCodec(key_bytes=4, pointer_bytes=4)
+        tree = BTree(pager=pager, codec=codec, min_degree=3)
+        keys = random.Random(0).sample(range(5000), 150)
+        for k in keys:
+            tree.insert(k, k * 2)
+
+        reopened = BTree.attach(pager, codec, tree.root_id, min_degree=3)
+        assert reopened.size == 150
+        assert [*reopened.items()] == [*tree.items()]
+        for k in keys[:10]:
+            assert reopened.search(k) == k * 2
+
+    def test_reopened_tree_is_writable(self):
+        pager = Pager(SimulatedDisk(block_size=512), cache_blocks=8)
+        codec = PlainNodeCodec(key_bytes=4, pointer_bytes=4)
+        tree = BTree(pager=pager, codec=codec, min_degree=2)
+        for k in range(60):
+            tree.insert(k, k)
+
+        reopened = BTree.attach(pager, codec, tree.root_id, min_degree=2)
+        reopened.insert(1000, 1)
+        reopened.delete(0)
+        reopened.check_invariants()
+        assert reopened.contains(1000)
+        assert not reopened.contains(0)
+
+    def test_attach_validates_structure(self):
+        pager = Pager(SimulatedDisk(block_size=512), cache_blocks=8)
+        codec = PlainNodeCodec(key_bytes=4, pointer_bytes=4)
+        tree = BTree(pager=pager, codec=codec, min_degree=2)
+        for k in range(30):
+            tree.insert(k, k)
+        # reopening with the wrong geometry fails the occupancy check
+        with pytest.raises(BTreeError):
+            BTree.attach(pager, codec, tree.root_id, min_degree=16)
+
+
+class TestAttachEnciphered:
+    def test_reopen_with_correct_secrets(self):
+        """Holding the design secrets and the pointer key is necessary and
+        sufficient to reopen the enciphered tree."""
+        design = planar_difference_set(13)
+        cipher = CountingCipher(RSA(generate_rsa_keypair(bits=128, rng=random.Random(1))))
+        codec = SubstitutedNodeCodec(OvalSubstitution(design, t=5), cipher)
+        pager = Pager(SimulatedDisk(block_size=512), cache_blocks=0)
+        tree = BTree(pager=pager, codec=codec, min_degree=4)
+        keys = random.Random(2).sample(range(design.v), 90)
+        for k in keys:
+            tree.insert(k, k)
+
+        same_secrets = SubstitutedNodeCodec(OvalSubstitution(design, t=5), cipher)
+        reopened = BTree.attach(pager, same_secrets, tree.root_id, min_degree=4)
+        assert sorted(k for k, _ in reopened.items()) == sorted(keys)
+
+    def test_reopen_with_wrong_multiplier_fails(self):
+        """The wrong t inverts disguises to the wrong keys: the structure
+        check catches the resulting disorder."""
+        design = planar_difference_set(13)
+        cipher = CountingCipher(RSA(generate_rsa_keypair(bits=128, rng=random.Random(1))))
+        codec = SubstitutedNodeCodec(OvalSubstitution(design, t=5), cipher)
+        pager = Pager(SimulatedDisk(block_size=512), cache_blocks=0)
+        tree = BTree(pager=pager, codec=codec, min_degree=4)
+        for k in random.Random(3).sample(range(design.v), 90):
+            tree.insert(k, k)
+
+        wrong = SubstitutedNodeCodec(OvalSubstitution(design, t=7), cipher)
+        with pytest.raises(BTreeError):
+            BTree.attach(pager, wrong, tree.root_id, min_degree=4)

@@ -1,0 +1,61 @@
+"""ASCII tree rendering."""
+
+from __future__ import annotations
+
+from repro.btree.codec import PlainNodeCodec
+from repro.btree.render import render_side_by_side, render_substituted, render_tree
+from repro.btree.tree import BTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import Pager
+
+
+def make_tree(keys) -> BTree:
+    tree = BTree(
+        pager=Pager(SimulatedDisk(block_size=512), cache_blocks=8),
+        codec=PlainNodeCodec(key_bytes=4, pointer_bytes=4),
+        min_degree=2,
+    )
+    for k in keys:
+        tree.insert(k, k)
+    return tree
+
+
+class TestRenderTree:
+    def test_single_leaf(self):
+        art = render_tree(make_tree([3, 1, 2]))
+        assert art.strip() == "[1 2 3]"
+
+    def test_levels_render_top_down(self):
+        tree = make_tree(range(13))
+        art = render_tree(tree)
+        lines = art.splitlines()
+        assert len(lines) == tree.height()
+        # every key appears exactly once across the rendering
+        tokens = art.replace("[", " ").replace("]", " ").split()
+        assert sorted(map(int, tokens)) == list(range(13))
+
+    def test_title(self):
+        art = render_tree(make_tree([1]), title="demo")
+        assert art.splitlines()[0].strip() == "demo"
+
+    def test_custom_key_format(self):
+        art = render_tree(make_tree([1, 2]), key_format=lambda k: f"k{k}")
+        assert "k1" in art and "k2" in art
+
+    def test_substituted_view(self):
+        tree = make_tree([1, 2, 3])
+        art = render_substituted(tree, lambda k: k * 7 % 13)
+        assert art.strip() == "[7 1 8]"
+
+
+class TestSideBySide:
+    def test_pads_to_common_height(self):
+        left = "a\nb\nc"
+        right = "x"
+        combined = render_side_by_side(left, right)
+        assert len(combined.splitlines()) == 3
+
+    def test_columns_aligned(self):
+        combined = render_side_by_side("ab\ncd", "XY\nZW", gap=3)
+        lines = combined.splitlines()
+        assert lines[0].index("XY") == lines[1].index("ZW")

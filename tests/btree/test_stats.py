@@ -1,0 +1,66 @@
+"""Tree shape extraction."""
+
+from __future__ import annotations
+
+import random
+
+from repro.btree.codec import PlainNodeCodec
+from repro.btree.stats import tree_shape
+from repro.btree.tree import BTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import Pager
+
+
+def make_tree(min_degree: int = 2) -> BTree:
+    return BTree(
+        pager=Pager(SimulatedDisk(block_size=1024), cache_blocks=8),
+        codec=PlainNodeCodec(key_bytes=4, pointer_bytes=4),
+        min_degree=min_degree,
+    )
+
+
+class TestTreeShape:
+    def test_empty_tree(self):
+        shape = tree_shape(make_tree())
+        assert shape.height == 1
+        assert shape.node_count == 1
+        assert shape.key_count == 0
+
+    def test_counts_consistent(self):
+        tree = make_tree()
+        for k in range(100):
+            tree.insert(k, k)
+        shape = tree_shape(tree)
+        assert shape.key_count == 100
+        assert sum(shape.keys_per_level) == 100
+        assert shape.height == tree.height()
+        assert shape.node_count == len(tree.node_ids())
+        assert shape.average_fill == 100 / shape.node_count
+
+    def test_same_inserts_same_signature(self):
+        t1, t2 = make_tree(), make_tree()
+        keys = random.Random(5).sample(range(1000), 120)
+        for k in keys:
+            t1.insert(k, k)
+            t2.insert(k, k)
+        assert tree_shape(t1).signature == tree_shape(t2).signature
+
+    def test_monotone_relabel_preserves_signature(self):
+        """Shapes depend only on key *order*, not values -- the property
+        behind Figure 3."""
+        t1, t2 = make_tree(), make_tree()
+        keys = random.Random(6).sample(range(500), 90)
+        for k in keys:
+            t1.insert(k, 0)
+            t2.insert(k * 17 + 3, 0)  # strictly monotone relabel
+        assert tree_shape(t1).signature == tree_shape(t2).signature
+
+    def test_different_orders_usually_differ(self):
+        t1, t2 = make_tree(), make_tree()
+        for k in range(60):
+            t1.insert(k, 0)
+        for k in reversed(range(60)):
+            t2.insert(k, 0)
+        # same key set, different insert order: shapes may legitimately
+        # coincide, but key sets must agree
+        assert [k for k, _ in t1.items()] == [k for k, _ in t2.items()]

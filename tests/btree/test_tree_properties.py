@@ -1,0 +1,119 @@
+"""Property-based B-Tree testing: the tree as a sorted-dict model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.btree.codec import PlainNodeCodec
+from repro.btree.tree import BTree
+from repro.exceptions import DuplicateKeyError, KeyNotFoundError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import Pager
+
+
+def make_tree(min_degree: int) -> BTree:
+    return BTree(
+        pager=Pager(SimulatedDisk(block_size=2048), cache_blocks=16),
+        codec=PlainNodeCodec(key_bytes=8, pointer_bytes=4),
+        min_degree=min_degree,
+    )
+
+
+@given(
+    keys=st.lists(st.integers(0, 10**9), min_size=1, max_size=150, unique=True),
+    t=st.integers(2, 6),
+)
+@settings(max_examples=60, deadline=None)
+def test_insert_then_inorder_is_sorted(keys, t):
+    tree = make_tree(t)
+    for k in keys:
+        tree.insert(k, k ^ 0xABCD)
+    tree.check_invariants()
+    items = [*tree.items()]
+    assert [k for k, _ in items] == sorted(keys)
+    assert all(v == k ^ 0xABCD for k, v in items)
+
+
+@given(
+    keys=st.lists(st.integers(0, 10**6), min_size=2, max_size=100, unique=True),
+    t=st.integers(2, 5),
+    data=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_delete_subset_preserves_rest(keys, t, data):
+    tree = make_tree(t)
+    for k in keys:
+        tree.insert(k, k)
+    to_delete = data.draw(st.lists(st.sampled_from(keys), unique=True, max_size=len(keys)))
+    for k in to_delete:
+        tree.delete(k)
+    tree.check_invariants()
+    remaining = sorted(set(keys) - set(to_delete))
+    assert [k for k, _ in tree.items()] == remaining
+
+
+@given(
+    keys=st.lists(st.integers(0, 10**4), min_size=1, max_size=80, unique=True),
+    lo=st.integers(0, 10**4),
+    hi=st.integers(0, 10**4),
+)
+@settings(max_examples=60, deadline=None)
+def test_range_search_matches_filter(keys, lo, hi):
+    tree = make_tree(3)
+    for k in keys:
+        tree.insert(k, k)
+    expected = sorted(k for k in keys if lo <= k <= hi)
+    assert [k for k, _ in tree.range_search(lo, hi)] == expected
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Stateful comparison against a plain dict model."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tree = make_tree(2)
+        self.model: dict[int, int] = {}
+
+    @rule(key=st.integers(0, 500), value=st.integers(0, 10**6))
+    def insert(self, key, value):
+        if key in self.model:
+            with pytest.raises(DuplicateKeyError):
+                self.tree.insert(key, value)
+        else:
+            self.tree.insert(key, value)
+            self.model[key] = value
+
+    @rule(key=st.integers(0, 500))
+    def delete(self, key):
+        if key in self.model:
+            self.tree.delete(key)
+            del self.model[key]
+        else:
+            with pytest.raises(KeyNotFoundError):
+                self.tree.delete(key)
+
+    @rule(key=st.integers(0, 500))
+    def lookup(self, key):
+        if key in self.model:
+            assert self.tree.search(key) == self.model[key]
+        else:
+            with pytest.raises(KeyNotFoundError):
+                self.tree.search(key)
+
+    @precondition(lambda self: len(self.model) > 0)
+    @rule()
+    def full_scan(self):
+        assert [*self.tree.items()] == sorted(self.model.items())
+
+    @invariant()
+    def structurally_valid(self):
+        self.tree.check_invariants()
+
+
+TestBTreeStateful = BTreeMachine.TestCase
+TestBTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,21 @@
+"""Shared fixtures: the paper's running example and deterministic RNGs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.designs.difference_sets import PAPER_DIFFERENCE_SET, DifferenceSet
+
+
+@pytest.fixture
+def paper_design() -> DifferenceSet:
+    """The (13, 4, 1) design developed from {0, 1, 3, 9} mod 13."""
+    return PAPER_DIFFERENCE_SET
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministically seeded RNG, fresh per test."""
+    return random.Random(0xBEEF)

@@ -1,0 +1,170 @@
+"""The two enciphered node codecs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.btree.node import Node
+from repro.core.codecs import PageKeyNodeCodec, SubstitutedNodeCodec
+from repro.core.packing import PointerPacking
+from repro.crypto.base import CountingCipher
+from repro.crypto.pagekey import PageKeyScheme
+from repro.crypto.rsa import RSA, generate_rsa_keypair
+from repro.designs.difference_sets import PAPER_DIFFERENCE_SET
+from repro.exceptions import CodecError, IntegrityError
+from repro.substitution.oval import OvalSubstitution
+
+
+@pytest.fixture(scope="module")
+def rsa_cipher():
+    return RSA(generate_rsa_keypair(bits=128, rng=random.Random(21)))
+
+
+@pytest.fixture
+def hs_codec(rsa_cipher):
+    return SubstitutedNodeCodec(
+        OvalSubstitution(PAPER_DIFFERENCE_SET, t=7),
+        CountingCipher(rsa_cipher),
+        PointerPacking(),
+    )
+
+
+LEAF = Node(node_id=4, is_leaf=True, keys=[2, 5, 9], values=[20, 50, 90])
+INTERNAL = Node(
+    node_id=6, is_leaf=False, keys=[3, 8], values=[30, 80], children=[1, 2, 3]
+)
+
+
+class TestSubstitutedCodec:
+    def test_leaf_roundtrip(self, hs_codec):
+        assert hs_codec.decode(4, hs_codec.encode(LEAF)).to_node() == LEAF
+
+    def test_internal_roundtrip(self, hs_codec):
+        assert hs_codec.decode(6, hs_codec.encode(INTERNAL)).to_node() == INTERNAL
+
+    def test_stored_keys_are_disguised(self, hs_codec):
+        view = hs_codec.decode(4, hs_codec.encode(LEAF))
+        for i, key in enumerate(LEAF.keys):
+            assert view.stored_key_at(i) == key * 7 % 13
+            assert view.key_at(i) == key
+
+    def test_key_access_costs_no_decryption(self, hs_codec):
+        data = hs_codec.encode(LEAF)
+        hs_codec.cipher.reset_counts()
+        view = hs_codec.decode(4, data)
+        for i in range(view.num_keys):
+            view.key_at(i)
+        assert hs_codec.cipher.counts.decryptions == 0
+
+    def test_pointer_access_costs_one_decryption(self, hs_codec):
+        data = hs_codec.encode(INTERNAL)
+        hs_codec.cipher.reset_counts()
+        view = hs_codec.decode(6, data)
+        view.child_at(1)
+        assert hs_codec.cipher.counts.decryptions == 1
+        # repeated access to the same triplet hits the view cache
+        view.child_at(1)
+        view.value_at(1)
+        assert hs_codec.cipher.counts.decryptions == 1
+
+    def test_extra_pointer_decrypts_separately(self, hs_codec):
+        data = hs_codec.encode(INTERNAL)
+        hs_codec.cipher.reset_counts()
+        view = hs_codec.decode(6, data)
+        assert view.child_at(2) == 3  # the unaccompanied pointer
+        assert hs_codec.cipher.counts.decryptions == 1
+
+    def test_block_binding_detected(self, hs_codec):
+        """A cryptogram moved to another block fails integrity: E(b||a||p)
+        embeds the block number."""
+        data = hs_codec.encode(LEAF)
+        view = hs_codec.decode(5, data)  # wrong block id
+        with pytest.raises(IntegrityError):
+            view.value_at(0)
+
+    def test_truncated_block_rejected(self, hs_codec):
+        data = hs_codec.encode(LEAF)
+        with pytest.raises(CodecError):
+            hs_codec.decode(4, data[: len(data) - 4])
+
+    def test_index_bounds(self, hs_codec):
+        view = hs_codec.decode(4, hs_codec.encode(LEAF))
+        with pytest.raises(CodecError):
+            view.key_at(3)
+        with pytest.raises(CodecError):
+            view.value_at(-1)
+        with pytest.raises(CodecError):
+            view.child_at(0)  # leaf
+
+    def test_small_modulus_rejected(self):
+        tiny = RSA(generate_rsa_keypair(bits=64, rng=random.Random(5)))
+        with pytest.raises(CodecError):
+            SubstitutedNodeCodec(
+                OvalSubstitution(PAPER_DIFFERENCE_SET, t=7),
+                CountingCipher(tiny),
+                PointerPacking(),  # needs 96 bits
+            )
+
+
+@pytest.fixture
+def bm_codec():
+    return PageKeyNodeCodec(PageKeyScheme(b"\x01" * 8), key_bytes=4)
+
+
+class TestPageKeyCodec:
+    def test_leaf_roundtrip(self, bm_codec):
+        assert bm_codec.decode(4, bm_codec.encode(LEAF)).to_node() == LEAF
+
+    def test_internal_roundtrip(self, bm_codec):
+        assert bm_codec.decode(6, bm_codec.encode(INTERNAL)).to_node() == INTERNAL
+
+    def test_whole_block_is_ciphertext(self, bm_codec):
+        data = bm_codec.encode(LEAF)
+        # no plaintext header: first byte is not a valid leaf flag split
+        plain_keys = b"".join(k.to_bytes(4, "big") for k in LEAF.keys)
+        assert plain_keys not in data
+
+    def test_key_access_costs_triplet_decryption(self, bm_codec):
+        data = bm_codec.encode(LEAF)
+        bm_codec.triplet_counts.reset()
+        view = bm_codec.decode(4, data)
+        view.key_at(0)
+        view.key_at(2)
+        assert bm_codec.triplet_counts.decryptions == 2
+        view.key_at(0)  # cached within the view
+        assert bm_codec.triplet_counts.decryptions == 2
+
+    def test_key_and_pointers_decrypt_together(self, bm_codec):
+        """All three triplet elements are enciphered together: reading the
+        key already paid for the pointers."""
+        data = bm_codec.encode(INTERNAL)
+        bm_codec.triplet_counts.reset()
+        view = bm_codec.decode(6, data)
+        view.key_at(0)
+        view.value_at(0)
+        view.child_at(0)
+        assert bm_codec.triplet_counts.decryptions == 1
+
+    def test_same_triplet_differs_across_blocks(self, bm_codec):
+        """Per-page keys: identical nodes at different ids produce
+        different ciphertext."""
+        node_a = Node(node_id=1, is_leaf=True, keys=[5], values=[50])
+        node_b = Node(node_id=2, is_leaf=True, keys=[5], values=[50])
+        assert bm_codec.encode(node_a) != bm_codec.encode(node_b)
+
+    def test_wrong_block_id_garbles(self, bm_codec):
+        data = bm_codec.encode(LEAF)
+        with pytest.raises(Exception):
+            # decoding under the wrong page key produces garbage that
+            # fails header validation (or a nonsense node)
+            view = bm_codec.decode(5, data)
+            node = view.to_node()
+            assert node.keys == LEAF.keys
+            raise AssertionError("decoded cleanly under wrong page key")
+
+    def test_stored_key_is_ciphertext_int(self, bm_codec):
+        data = bm_codec.encode(LEAF)
+        view = bm_codec.decode(4, data)
+        assert view.stored_key_at(0) != LEAF.keys[0]

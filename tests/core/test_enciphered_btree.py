@@ -1,0 +1,156 @@
+"""The Hardjono--Seberry enciphered B-Tree, end to end."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.enciphered_btree import EncipheredBTree
+from repro.designs.difference_sets import planar_difference_set, singer_difference_set
+from repro.exceptions import (
+    DuplicateKeyError,
+    KeyNotFoundError,
+    SubstitutionError,
+)
+from repro.substitution.exponentiation import ExponentiationSubstitution
+from repro.substitution.oval import OvalSubstitution
+from repro.substitution.sums import SumSubstitution
+
+
+@pytest.fixture(scope="module")
+def design():
+    return planar_difference_set(13)  # v = 183
+
+
+@pytest.fixture
+def tree(design):
+    return EncipheredBTree(OvalSubstitution(design, t=5), block_size=512)
+
+
+class TestCrud:
+    def test_insert_search(self, tree, design):
+        keys = random.Random(0).sample(range(design.v), 60)
+        for k in keys:
+            tree.insert(k, f"payload-{k}".encode())
+        for k in keys:
+            assert tree.search(k) == f"payload-{k}".encode()
+        tree.tree.check_invariants()
+
+    def test_duplicate_rejected_and_record_not_leaked(self, tree):
+        tree.insert(10, b"first")
+        count_before = tree.records.count
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(10, b"second")
+        assert tree.records.count == count_before
+        assert tree.search(10) == b"first"
+
+    def test_delete(self, tree, design):
+        keys = random.Random(1).sample(range(design.v), 40)
+        for k in keys:
+            tree.insert(k, b"x")
+        for k in keys[:20]:
+            tree.delete(k)
+        tree.tree.check_invariants()
+        assert len(tree) == 20
+        with pytest.raises(KeyNotFoundError):
+            tree.search(keys[0])
+
+    def test_deleted_record_slot_freed(self, tree):
+        tree.insert(5, b"victim")
+        count = tree.records.count
+        tree.delete(5)
+        assert tree.records.count == count - 1
+
+    def test_range_search(self, tree, design):
+        keys = random.Random(2).sample(range(design.v), 80)
+        for k in keys:
+            tree.insert(k, str(k).encode())
+        result = tree.range_search(40, 120)
+        assert [k for k, _ in result] == sorted(k for k in keys if 40 <= k <= 120)
+        assert all(payload == str(k).encode() for k, payload in result)
+
+
+class TestAtRestSecurity:
+    def test_node_blocks_contain_no_plaintext_keys_in_order(self, tree, design):
+        keys = sorted(random.Random(3).sample(range(design.v), 50))
+        for k in keys:
+            tree.insert(k, b"x")
+        # at-rest keys are the disguises, not the keys
+        from repro.analysis.attacker import parse_substituted_blocks
+
+        surface = parse_substituted_blocks(
+            tree.disk, tree.codec.key_bytes, tree.codec.cryptogram_bytes
+        )
+        stored = sorted(surface.all_disguised_keys)
+        assert stored != keys
+
+    def test_record_payloads_encrypted(self, tree):
+        tree.insert(7, b"HIGHLY CONFIDENTIAL")
+        dumps = b"".join(data for _, data in tree.records.disk.raw_blocks())
+        assert b"CONFIDENTIAL" not in dumps
+
+
+class TestCostProfile:
+    def test_search_decrypts_once_per_level(self, tree, design):
+        """The paper's headline: one pointer decryption per node visited
+        (plus one for the record's data pointer at the leaf)."""
+        keys = random.Random(4).sample(range(design.v), 100)
+        for k in keys:
+            tree.insert(k, b"x")
+        height = tree.tree.height()
+        tree.reset_costs()
+        for k in keys[:20]:
+            before = tree.cost_snapshot()
+            tree.tree.search(k)
+            cost = tree.cost_snapshot().minus(before)
+            assert cost.pointer_decryptions <= height
+            assert cost.nodes_visited <= height
+
+    def test_key_routing_uses_inversions_not_decryptions(self, tree, design):
+        keys = random.Random(5).sample(range(design.v), 100)
+        for k in keys:
+            tree.insert(k, b"x")
+        tree.reset_costs()
+        tree.tree.search(keys[0])
+        cost = tree.cost_snapshot()
+        assert cost.inversions > 0
+        assert cost.pointer_decryptions <= cost.inversions
+
+    def test_cost_snapshot_minus(self, tree):
+        tree.insert(1, b"x")
+        a = tree.cost_snapshot()
+        tree.search(1)
+        diff = tree.cost_snapshot().minus(a)
+        assert diff.pointer_encryptions == 0
+        assert diff.decryptions >= 1
+
+
+class TestConfiguration:
+    def test_min_degree_autofit(self, design):
+        tree = EncipheredBTree(OvalSubstitution(design, t=5), block_size=4096)
+        n = 2 * tree.tree.min_degree - 1
+        assert tree.codec.node_overhead_bytes(n, is_leaf=False) <= 4096
+        assert tree.codec.node_overhead_bytes(n + 2, is_leaf=False) > 4096
+
+    def test_sum_substitution_supported(self, design):
+        tree = EncipheredBTree(SumSubstitution(design), block_size=512)
+        for k in range(0, 100, 7):
+            tree.insert(k, b"v")
+        assert tree.search(49) == b"v"
+
+    def test_noninjective_exponentiation_refused(self, paper_design):
+        bad = ExponentiationSubstitution(paper_design, t=7, g=7, n_modulus=13)
+        with pytest.raises(SubstitutionError):
+            EncipheredBTree(bad, block_size=512)
+
+    def test_injective_exponentiation_accepted(self):
+        sub = ExponentiationSubstitution(
+            singer_difference_set(4), t=2, g=5, n_modulus=23
+        )
+        tree = EncipheredBTree(sub, block_size=512, min_degree=2)
+        for key in sub.representable_keys():
+            tree.insert(key, str(key).encode())
+        for key in sub.representable_keys():
+            assert tree.search(key) == str(key).encode()
+        tree.tree.check_invariants()

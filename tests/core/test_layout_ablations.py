@@ -1,0 +1,143 @@
+"""Ablation variants: whole-page baseline, disguised extra pointer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.btree.node import Node
+from repro.core.bayer_metzger import BayerMetzgerBTree
+from repro.core.codecs import SubstitutedNodeCodec, WholePageNodeCodec
+from repro.core.enciphered_btree import EncipheredBTree
+from repro.crypto.base import CountingCipher
+from repro.crypto.pagekey import PageKeyScheme
+from repro.crypto.rsa import RSA, generate_rsa_keypair
+from repro.designs.difference_sets import planar_difference_set
+from repro.exceptions import BTreeError, CodecError
+from repro.substitution.oval import OvalSubstitution
+
+DESIGN = planar_difference_set(13)
+
+
+class TestWholePageLayout:
+    @pytest.mark.parametrize("page_mode", ["ecb", "cbc", "progressive"])
+    def test_crud_all_modes(self, page_mode):
+        tree = BayerMetzgerBTree(block_size=512, layout="page", page_mode=page_mode)
+        keys = random.Random(1).sample(range(5000), 60)
+        for k in keys:
+            tree.insert(k, f"wp-{k}".encode())
+        tree.tree.check_invariants()
+        for k in keys[:10]:
+            assert tree.search(k) == f"wp-{k}".encode()
+        for k in keys[:20]:
+            tree.delete(k)
+        tree.tree.check_invariants()
+
+    def test_whole_page_decrypts_everything_per_visit(self):
+        """Contrast with the lazy layout: a single search pays the full
+        node's triplets at every level."""
+        tree = BayerMetzgerBTree(block_size=512, layout="page")
+        for k in range(200):
+            tree.insert(k, b"x")
+        tree.reset_costs()
+        tree.tree.search(100)
+        cost = tree.cost_snapshot()
+        # far more than log2(n) per node: all resident triplets decrypted
+        lazy = BayerMetzgerBTree(block_size=512, layout="triplet")
+        for k in range(200):
+            lazy.insert(k, b"x")
+        lazy.reset_costs()
+        lazy.tree.search(100)
+        assert cost.triplet_decryptions > lazy.cost_snapshot().triplet_decryptions
+
+    def test_codec_roundtrip(self):
+        codec = WholePageNodeCodec(PageKeyScheme(b"\x01" * 8), key_bytes=4)
+        node = Node(node_id=3, is_leaf=False, keys=[4, 9], values=[1, 2], children=[5, 6, 7])
+        assert codec.decode(3, codec.encode(node)).to_node() == node
+
+    def test_overhead_accounts_padding(self):
+        codec = WholePageNodeCodec(PageKeyScheme(b"\x01" * 8), key_bytes=4)
+        node = Node(node_id=1, is_leaf=True, keys=[1, 2, 3], values=[0, 0, 0])
+        assert len(codec.encode(node)) == codec.node_overhead_bytes(3, True)
+
+    def test_progressive_mode_is_length_preserving(self):
+        codec = WholePageNodeCodec(
+            PageKeyScheme(b"\x01" * 8, mode="progressive"), key_bytes=4
+        )
+        node = Node(node_id=1, is_leaf=True, keys=[1], values=[0])
+        assert len(codec.encode(node)) == codec.inner.node_overhead_bytes(1, True)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(BTreeError):
+            BayerMetzgerBTree(layout="mystery")
+
+
+class TestDisguisedExtraPointer:
+    def test_tree_roundtrip(self):
+        tree = EncipheredBTree(
+            OvalSubstitution(DESIGN, t=5),
+            block_size=512,
+            min_degree=4,
+            extra_pointer_mode="disguise",
+        )
+        keys = random.Random(2).sample(range(DESIGN.v), 90)
+        for k in keys:
+            tree.insert(k, b"x")
+        tree.tree.check_invariants()
+        for k in keys:
+            assert tree.search(k) == b"x"
+
+    def test_smaller_node_overhead(self):
+        cipher = CountingCipher(RSA(generate_rsa_keypair(bits=128, rng=random.Random(3))))
+        sub = OvalSubstitution(DESIGN, t=5)
+        encrypting = SubstitutedNodeCodec(sub, cipher, extra_pointer_mode="encrypt")
+        disguising = SubstitutedNodeCodec(sub, cipher, extra_pointer_mode="disguise")
+        assert disguising.node_overhead_bytes(10, False) < encrypting.node_overhead_bytes(10, False)
+        # leaves are identical (no extra pointer)
+        assert disguising.node_overhead_bytes(10, True) == encrypting.node_overhead_bytes(10, True)
+
+    def test_extra_pointer_leaks_to_disguise_breaker(self):
+        """The security cost of the paper's literal sentence: an attacker
+        who recovered t reads one true child id per internal node."""
+        from repro.analysis.attacker import parse_substituted_blocks
+
+        sub = OvalSubstitution(DESIGN, t=5)
+        tree = EncipheredBTree(
+            sub, block_size=512, min_degree=4, extra_pointer_mode="disguise"
+        )
+        for k in random.Random(4).sample(range(DESIGN.v), 90):
+            tree.insert(k, b"x")
+        # find an internal node and read the disguised extra pointer field
+        leaked = 0
+        for node_id in tree.tree.node_ids():
+            view = tree.tree._view(node_id)
+            if view.is_leaf:
+                continue
+            raw = tree.disk.raw_block(node_id)
+            offset = 3 + view.num_keys * tree.codec.key_bytes + view.num_keys * tree.codec.cryptogram_bytes
+            stored = int.from_bytes(raw[offset : offset + tree.codec.key_bytes], "big")
+            recovered_child = stored * sub.t_inverse % DESIGN.v  # attacker knows t
+            if recovered_child == view.child_at(view.num_keys):
+                leaked += 1
+        assert leaked > 0  # at least the root leaks a true edge
+
+    def test_block_id_outside_universe_rejected(self):
+        """The disguise's key universe bounds the representable block ids;
+        growing past it must fail loudly, not corrupt."""
+        from repro.designs.difference_sets import PAPER_DIFFERENCE_SET
+        from repro.exceptions import KeyUniverseError
+
+        sub = OvalSubstitution(PAPER_DIFFERENCE_SET, t=7)  # universe = 13 ids
+        cipher = CountingCipher(RSA(generate_rsa_keypair(bits=128, rng=random.Random(5))))
+        codec = SubstitutedNodeCodec(sub, cipher, extra_pointer_mode="disguise")
+        node = Node(node_id=1, is_leaf=False, keys=[5], values=[1], children=[2, 99])
+        with pytest.raises(KeyUniverseError):
+            codec.encode(node)
+
+    def test_bad_mode_rejected(self):
+        cipher = CountingCipher(RSA(generate_rsa_keypair(bits=128, rng=random.Random(6))))
+        with pytest.raises(CodecError):
+            SubstitutedNodeCodec(
+                OvalSubstitution(DESIGN, t=5), cipher, extra_pointer_mode="plaintext"
+            )

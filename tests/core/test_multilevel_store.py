@@ -1,0 +1,125 @@
+"""§5's multilevel record levels over the enciphered B-Tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.multilevel_store import (
+    MultilevelEncipheredBTree,
+    MultilevelRecordStore,
+)
+from repro.crypto.multilevel import MultilevelKeyScheme
+from repro.designs.difference_sets import planar_difference_set
+from repro.exceptions import ClearanceError, CryptoError, KeyNotFoundError
+from repro.substitution.oval import OvalSubstitution
+
+
+@pytest.fixture(scope="module")
+def design():
+    return planar_difference_set(13)
+
+
+@pytest.fixture
+def store():
+    scheme = MultilevelKeyScheme(levels=3, rng=random.Random(4))
+    return MultilevelRecordStore(scheme, record_size=48, block_size=512)
+
+
+class TestStore:
+    def test_roundtrip_per_level(self, store):
+        for level in range(3):
+            rid = store.put(f"level-{level} data".encode(), level)
+            assert store.level_of(rid) == level
+            assert store.get(rid, clearance=0) == f"level-{level} data".encode()
+
+    def test_equal_clearance_allowed(self, store):
+        rid = store.put(b"secret", 1)
+        assert store.get(rid, clearance=1) == b"secret"
+
+    def test_lower_clearance_denied(self, store):
+        rid = store.put(b"secret", 0)
+        with pytest.raises(ClearanceError) as excinfo:
+            store.get(rid, clearance=2)
+        assert excinfo.value.level == 0
+        assert excinfo.value.clearance == 2
+
+    def test_levels_use_distinct_ciphertexts(self):
+        scheme = MultilevelKeyScheme(levels=2, rng=random.Random(4))
+        store = MultilevelRecordStore(scheme, record_size=48, block_size=512)
+        store.put(b"identical payload bytes", 0)
+        store.put(b"identical payload bytes", 1)
+        raw0 = store._stores[0].disk.raw_block(0)
+        raw1 = store._stores[1].disk.raw_block(0)
+        assert raw0 != raw1  # per-level keys
+
+    def test_bad_level_rejected(self, store):
+        with pytest.raises(CryptoError):
+            store.put(b"x", 3)
+
+    def test_delete_and_count(self, store):
+        rid = store.put(b"x", 1)
+        assert store.count == 1
+        store.delete(rid)
+        assert store.count == 0
+
+
+class TestMultilevelTree:
+    @pytest.fixture
+    def tree(self, design):
+        tree = MultilevelEncipheredBTree(
+            OvalSubstitution(design, t=5), levels=3, block_size=512
+        )
+        rng = random.Random(0)
+        self_keys = rng.sample(range(design.v), 45)
+        for i, k in enumerate(self_keys):
+            tree.insert(k, f"doc-{k}".encode(), level=i % 3)
+        tree._keys = self_keys  # type: ignore[attr-defined]
+        return tree
+
+    def test_officer_reads_everything(self, tree):
+        for k in tree._keys:
+            assert tree.search(k, clearance=0) == f"doc-{k}".encode()
+
+    def test_clearance_enforced_per_record(self, tree):
+        for i, k in enumerate(tree._keys):
+            level = i % 3
+            if level < 2:
+                with pytest.raises(ClearanceError):
+                    tree.search(k, clearance=2)
+            else:
+                assert tree.search(k, clearance=2) == f"doc-{k}".encode()
+
+    def test_index_is_shared(self, tree):
+        """The index layer carries no clearance: every user can verify
+        key existence; only the payload is levelled."""
+        assert tree.level_of(tree._keys[0]) in (0, 1, 2)
+        with pytest.raises(KeyNotFoundError):
+            tree.search(9999, clearance=0)
+
+    def test_range_search_skip_denied(self, tree):
+        full = tree.range_search(0, 200, clearance=0)
+        partial = tree.range_search(0, 200, clearance=1, skip_denied=True)
+        assert {k for k, _ in partial} < {k for k, _ in full}
+        expected = {
+            k for i, k in enumerate(tree._keys) if i % 3 >= 1
+        }
+        assert {k for k, _ in partial} == expected
+
+    def test_range_search_raises_without_skip(self, tree):
+        with pytest.raises(ClearanceError):
+            tree.range_search(0, 200, clearance=2)
+
+    def test_delete_frees_levelled_slot(self, tree):
+        count = tree.records.count
+        tree.delete(tree._keys[0])
+        assert tree.records.count == count - 1
+
+    def test_failed_insert_rolls_back_record(self, tree):
+        from repro.exceptions import DuplicateKeyError
+
+        count = tree.records.count
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(tree._keys[0], b"dup", level=1)
+        assert tree.records.count == count

@@ -1,0 +1,54 @@
+"""Pointer-pair packing (b || a || p)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packing import PointerPacking
+from repro.exceptions import CodecError
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        packing = PointerPacking()
+        packed = packing.pack(5, 100, 200)
+        assert packing.unpack(packed) == (5, 100, 200)
+
+    def test_null_pointers(self):
+        packing = PointerPacking()
+        assert packing.unpack(packing.pack(3, None, 7)) == (3, None, 7)
+        assert packing.unpack(packing.pack(3, 7, None)) == (3, 7, None)
+        assert packing.unpack(packing.pack(3, None, None)) == (3, None, None)
+
+    def test_zero_ids_distinct_from_null(self):
+        packing = PointerPacking()
+        assert packing.unpack(packing.pack(0, 0, 0)) == (0, 0, 0)
+
+    def test_field_overflow_rejected(self):
+        packing = PointerPacking(block_bits=8, pointer_bits=8)
+        with pytest.raises(CodecError):
+            packing.pack(256, 0, 0)
+        with pytest.raises(CodecError):
+            packing.pack(0, 255, 0)  # 255 + 1 == 256 overflows
+        packing.pack(255, 254, 254)  # boundary fits
+
+    def test_unpack_range_checked(self):
+        packing = PointerPacking(block_bits=8, pointer_bits=8)
+        with pytest.raises(CodecError):
+            packing.unpack(1 << 24)
+
+    def test_required_modulus(self):
+        packing = PointerPacking(block_bits=16, pointer_bits=24)
+        assert packing.required_modulus() == 1 << 64
+
+    @given(
+        b=st.integers(0, 2**32 - 1),
+        a=st.one_of(st.none(), st.integers(0, 2**32 - 2)),
+        p=st.one_of(st.none(), st.integers(0, 2**32 - 2)),
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, b, a, p):
+        packing = PointerPacking()
+        assert packing.unpack(packing.pack(b, a, p)) == (b, a, p)

@@ -1,0 +1,90 @@
+"""The enciphered record store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import RecordStore
+from repro.exceptions import StorageError
+
+KEY = b"\x13\x34\x57\x79\x9b\xbc\xdf\xf1"
+
+
+@pytest.fixture
+def store():
+    return RecordStore(KEY, record_size=32, block_size=256)
+
+
+class TestPutGet:
+    def test_roundtrip(self, store):
+        rid = store.put(b"hello record")
+        assert store.get(rid) == b"hello record"
+
+    def test_many_records_across_blocks(self, store):
+        rids = [store.put(f"record-{i}".encode()) for i in range(50)]
+        assert store.disk.num_blocks > 1
+        for i, rid in enumerate(rids):
+            assert store.get(rid) == f"record-{i}".encode()
+
+    def test_empty_record(self, store):
+        rid = store.put(b"")
+        assert store.get(rid) == b""
+
+    def test_oversized_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.put(b"x" * 33)
+
+    def test_exact_size_accepted(self, store):
+        rid = store.put(b"x" * 32)
+        assert store.get(rid) == b"x" * 32
+
+    def test_bogus_id_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.get(9999)
+
+
+class TestEncryptionAtRest:
+    def test_raw_blocks_hide_contents(self, store):
+        store.put(b"SECRET PAYLOAD AAAA")
+        raw = store.disk.raw_block(0)
+        assert b"SECRET" not in raw
+
+    def test_different_keys_different_ciphertext(self):
+        s1 = RecordStore(KEY, record_size=32, block_size=256)
+        s2 = RecordStore(bytes(8), record_size=32, block_size=256)
+        s1.put(b"same bytes")
+        s2.put(b"same bytes")
+        assert s1.disk.raw_block(0) != s2.disk.raw_block(0)
+
+
+class TestDelete:
+    def test_delete_frees_slot(self, store):
+        rid = store.put(b"doomed")
+        store.delete(rid)
+        with pytest.raises(StorageError):
+            store.get(rid)
+        assert store.count == 0
+
+    def test_slot_reused(self, store):
+        rids = [store.put(f"r{i}".encode()) for i in range(5)]
+        store.delete(rids[2])
+        new_rid = store.put(b"replacement")
+        assert new_rid == rids[2]
+        assert store.get(new_rid) == b"replacement"
+
+    def test_other_slots_unaffected(self, store):
+        rids = [store.put(f"r{i}".encode()) for i in range(10)]
+        store.delete(rids[4])
+        for i, rid in enumerate(rids):
+            if i != 4:
+                assert store.get(rid) == f"r{i}".encode()
+
+    def test_delete_then_fill_open_block(self, store):
+        """Freed-slot reuse inside the currently-open block must not be
+        clobbered by subsequent appends."""
+        rids = [store.put(f"r{i}".encode()) for i in range(3)]
+        store.delete(rids[1])
+        store.put(b"reused")
+        store.put(b"appended")
+        assert store.get(rids[1]) == b"reused"
+        assert store.get(rids[0]) == b"r0"

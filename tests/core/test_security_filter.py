@@ -1,0 +1,126 @@
+"""The §4.3 security filter over an unmodified DBMS."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.btree.stats import tree_shape
+from repro.core.plain import PlainBTreeSystem
+from repro.core.security_filter import SealedRecord, SecurityFilter
+from repro.designs.difference_sets import planar_difference_set
+from repro.exceptions import IntegrityError, KeyError_
+from repro.substitution.oval import OvalSubstitution
+from repro.substitution.sums import SumSubstitution
+
+
+@pytest.fixture(scope="module")
+def design():
+    return planar_difference_set(13)  # v = 183
+
+
+@pytest.fixture
+def filter_(design):
+    return SecurityFilter(SumSubstitution(design, num_keys=160))
+
+
+class TestCrud:
+    def test_insert_search(self, filter_):
+        for k in range(0, 160, 4):
+            filter_.insert(k, f"payload {k}".encode())
+        for k in range(0, 160, 4):
+            assert filter_.search(k) == f"payload {k}".encode()
+
+    def test_delete(self, filter_):
+        filter_.insert(12, b"x")
+        filter_.delete(12)
+        with pytest.raises(Exception):
+            filter_.search(12)
+
+    def test_range_queries_pass_through(self, filter_):
+        """The paper's motivation: range searches work because the
+        disguise preserves order."""
+        keys = random.Random(0).sample(range(160), 70)
+        for k in keys:
+            filter_.insert(k, str(k).encode())
+        result = filter_.range_search(30, 90)
+        assert [k for k, _ in result] == sorted(k for k in keys if 30 <= k <= 90)
+
+    def test_range_with_out_of_universe_endpoints(self, filter_):
+        filter_.insert(5, b"five")
+        assert filter_.range_search(-100, 1000) == [(5, b"five")]
+        assert filter_.range_search(9, 3) == []
+
+
+class TestWhatTheDbmsSees:
+    def test_dbms_keys_are_substituted(self, filter_, design):
+        sub = SumSubstitution(design, num_keys=160)
+        for k in (3, 50, 120):
+            filter_.insert(k, b"x")
+        dbms_keys = [k for k, _ in filter_.dbms.tree.items()]
+        assert dbms_keys == [sub.substitute(k) for k in (3, 50, 120)]
+
+    def test_dbms_payloads_are_ciphertext(self, filter_):
+        filter_.insert(9, b"TOP SECRET CONTENT")
+        stored = filter_.dbms.search(filter_.substitution.substitute(9))
+        assert b"TOP SECRET" not in stored
+
+    def test_tree_shape_matches_plaintext_tree(self, design):
+        """Figure 3: the substituted tree has the plaintext tree's shape."""
+        plain = PlainBTreeSystem(block_size=512, min_degree=2)
+        filt = SecurityFilter(
+            SumSubstitution(design, num_keys=160),
+            PlainBTreeSystem(block_size=512, min_degree=2),
+        )
+        keys = random.Random(1).sample(range(160), 80)
+        for k in keys:
+            plain.insert(k, b"x")
+            filt.insert(k, b"x")
+        assert tree_shape(plain.tree).signature == tree_shape(filt.dbms.tree).signature
+
+
+class TestIntegrity:
+    def test_tampered_payload_detected(self, filter_):
+        filter_.insert(77, b"genuine")
+        sub_key = filter_.substitution.substitute(77)
+        stored = SealedRecord.from_bytes(filter_.dbms.search(sub_key))
+        tampered = SealedRecord(
+            substituted_key=stored.substituted_key,
+            ciphertext=bytes([stored.ciphertext[0] ^ 1]) + stored.ciphertext[1:],
+            checksum=stored.checksum,
+        )
+        with pytest.raises(IntegrityError):
+            filter_.unseal(tampered)
+
+    def test_record_swap_detected(self, filter_):
+        """§4.3's checksum binds the substituted search field: moving a
+        sealed payload under a different key fails verification."""
+        filter_.insert(10, b"ten")
+        filter_.insert(20, b"twenty")
+        s10 = SealedRecord.from_bytes(
+            filter_.dbms.search(filter_.substitution.substitute(10))
+        )
+        forged = SealedRecord(
+            substituted_key=filter_.substitution.substitute(20),
+            ciphertext=s10.ciphertext,
+            checksum=s10.checksum,
+        )
+        with pytest.raises(IntegrityError):
+            filter_.unseal(forged)
+
+    def test_seal_unseal_roundtrip(self, filter_):
+        sealed = filter_.seal(33, b"round trip")
+        key, payload = filter_.unseal(sealed)
+        assert (key, payload) == (33, b"round trip")
+
+    def test_sealed_record_serialisation(self, filter_):
+        sealed = filter_.seal(40, b"serialise me")
+        recovered = SealedRecord.from_bytes(sealed.to_bytes())
+        assert recovered == sealed
+
+
+class TestValidation:
+    def test_non_order_preserving_disguise_rejected(self, design):
+        with pytest.raises(KeyError_):
+            SecurityFilter(OvalSubstitution(design, t=5))  # type: ignore[arg-type]

@@ -1,0 +1,83 @@
+"""Cryptographic record checksums (Denning; paper §4.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.checksum import CryptographicChecksum, serialise_record
+from repro.exceptions import IntegrityError, KeyError_
+
+MAC_KEY = bytes.fromhex("31415926535897 93".replace(" ", ""))
+
+
+@pytest.fixture
+def mac():
+    return CryptographicChecksum(MAC_KEY)
+
+
+class TestSerialisation:
+    def test_field_order_independent(self):
+        a = serialise_record({"x": b"1", "y": b"2"})
+        b = serialise_record({"y": b"2", "x": b"1"})
+        assert a == b
+
+    def test_injective_on_boundaries(self):
+        """Moving a byte between fields changes the serialisation."""
+        a = serialise_record({"x": b"ab", "y": b"c"})
+        b = serialise_record({"x": b"a", "y": b"bc"})
+        assert a != b
+
+    def test_field_name_matters(self):
+        assert serialise_record({"x": b"1"}) != serialise_record({"z": b"1"})
+
+
+class TestChecksum:
+    def test_deterministic(self, mac):
+        fields = {"search_field": b"\x00\x07", "payload": b"rec"}
+        assert mac.compute(fields) == mac.compute(fields)
+
+    def test_verify_accepts_valid(self, mac):
+        fields = {"a": b"alpha", "b": b"beta"}
+        mac.verify(fields, mac.compute(fields))  # no exception
+
+    def test_tampered_value_detected(self, mac):
+        fields = {"a": b"alpha", "b": b"beta"}
+        checksum = mac.compute(fields)
+        with pytest.raises(IntegrityError):
+            mac.verify({"a": b"alphA", "b": b"beta"}, checksum)
+
+    def test_tampered_checksum_detected(self, mac):
+        fields = {"a": b"alpha"}
+        checksum = bytearray(mac.compute(fields))
+        checksum[0] ^= 1
+        with pytest.raises(IntegrityError):
+            mac.verify(fields, bytes(checksum))
+
+    def test_substituted_key_field_binds(self, mac):
+        """§4.3: the (substituted) search field is part of the checksum,
+        so swapping a record under a different key is detected."""
+        c30 = mac.compute({"search_field": (30).to_bytes(8, "big"), "payload": b"p"})
+        with pytest.raises(IntegrityError):
+            mac.verify({"search_field": (51).to_bytes(8, "big"), "payload": b"p"}, c30)
+
+    def test_key_separation(self):
+        fields = {"a": b"x"}
+        c1 = CryptographicChecksum(MAC_KEY).compute(fields)
+        c2 = CryptographicChecksum(bytes(8)).compute(fields)
+        assert c1 != c2
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(KeyError_):
+            CryptographicChecksum(b"short")
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8), st.binary(max_size=32), max_size=5
+        )
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, fields):
+        mac = CryptographicChecksum(MAC_KEY)
+        mac.verify(fields, mac.compute(fields))

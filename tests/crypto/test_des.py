@@ -1,0 +1,101 @@
+"""DES validated against published known-answer vectors and properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.des import DES
+from repro.exceptions import KeyError_, MessageRangeError
+
+# (key, plaintext, ciphertext) known-answer triples from the literature.
+KAT_VECTORS = [
+    ("133457799BBCDFF1", "0123456789ABCDEF", "85E813540F0AB405"),
+    ("0000000000000000", "0000000000000000", "8CA64DE9C1B123A7"),
+    ("FFFFFFFFFFFFFFFF", "FFFFFFFFFFFFFFFF", "7359B2163E4EDC58"),
+    ("3000000000000000", "1000000000000001", "958E6E627A05557B"),
+    ("1111111111111111", "1111111111111111", "F40379AB9E0EC533"),
+    ("0123456789ABCDEF", "1111111111111111", "17668DFC7292532D"),
+    ("1111111111111111", "0123456789ABCDEF", "8A5AE1F81AB8F2DD"),
+    ("FEDCBA9876543210", "0123456789ABCDEF", "ED39D950FA74BCC4"),
+    ("7CA110454A1A6E57", "01A1D6D039776742", "690F5B0D9A26939B"),
+    ("0131D9619DC1376E", "5CD54CA83DEF57DA", "7A389D10354BD271"),
+]
+
+
+class TestKnownAnswers:
+    @pytest.mark.parametrize("key_hex,plain_hex,cipher_hex", KAT_VECTORS)
+    def test_encrypt(self, key_hex, plain_hex, cipher_hex):
+        des = DES(bytes.fromhex(key_hex))
+        assert des.encrypt_block(bytes.fromhex(plain_hex)) == bytes.fromhex(cipher_hex)
+
+    @pytest.mark.parametrize("key_hex,plain_hex,cipher_hex", KAT_VECTORS)
+    def test_decrypt(self, key_hex, plain_hex, cipher_hex):
+        des = DES(bytes.fromhex(key_hex))
+        assert des.decrypt_block(bytes.fromhex(cipher_hex)) == bytes.fromhex(plain_hex)
+
+
+class TestRoundtrip:
+    @given(st.binary(min_size=8, max_size=8), st.binary(min_size=8, max_size=8))
+    @settings(max_examples=100)
+    def test_decrypt_inverts_encrypt(self, key, block):
+        des = DES(key)
+        assert des.decrypt_block(des.encrypt_block(block)) == block
+
+    def test_different_keys_differ(self):
+        block = b"ABCDEFGH"
+        c1 = DES(b"\x01" * 8).encrypt_block(block)
+        c2 = DES(b"\x02" * 8).encrypt_block(block)
+        assert c1 != c2
+
+    def test_complementation_property(self):
+        """DES(~k, ~p) == ~DES(k, p) -- a structural identity of DES."""
+        key = bytes.fromhex("133457799BBCDFF1")
+        plain = bytes.fromhex("0123456789ABCDEF")
+        c = DES(key).encrypt_block(plain)
+        key_c = bytes(b ^ 0xFF for b in key)
+        plain_c = bytes(b ^ 0xFF for b in plain)
+        c_c = DES(key_c).encrypt_block(plain_c)
+        assert c_c == bytes(b ^ 0xFF for b in c)
+
+
+class TestWeakKeys:
+    def test_weak_key_is_involution(self):
+        """Encrypting twice under a DES weak key is the identity."""
+        weak = bytes.fromhex("0101010101010101")
+        des = DES(weak)
+        block = b"weakkey!"
+        assert des.encrypt_block(des.encrypt_block(block)) == block
+
+
+class TestValidation:
+    def test_key_length_checked(self):
+        with pytest.raises(KeyError_):
+            DES(b"short")
+
+    def test_block_length_checked(self):
+        des = DES(b"\x01" * 8)
+        with pytest.raises(MessageRangeError):
+            des.encrypt_block(b"short")
+        with pytest.raises(MessageRangeError):
+            des.decrypt_block(b"way too long!")
+
+    def test_parity_enforcement(self):
+        # 0x01 bytes have odd parity; 0x00 bytes do not
+        DES(b"\x01" * 8, enforce_parity=True)
+        with pytest.raises(KeyError_):
+            DES(b"\x00" * 8, enforce_parity=True)
+
+    def test_fix_parity(self):
+        fixed = DES.fix_parity(b"\x00" * 8)
+        assert DES.has_odd_parity(fixed)
+        # parity bit is the LSB; high 7 bits are preserved
+        assert all((a & 0xFE) == (b & 0xFE) for a, b in zip(fixed, b"\x00" * 8))
+
+    @given(st.binary(min_size=8, max_size=8))
+    @settings(max_examples=50)
+    def test_fix_parity_idempotent(self, key):
+        once = DES.fix_parity(key)
+        assert DES.fix_parity(once) == once
+        assert DES.has_odd_parity(once)

@@ -1,0 +1,92 @@
+"""Cipher modes and padding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.des import DES
+from repro.crypto.modes import CBCCipher, ECBCipher, pad_pkcs7, unpad_pkcs7
+from repro.exceptions import CryptoError
+
+KEY = bytes.fromhex("133457799BBCDFF1")
+IV = bytes.fromhex("0011223344556677")
+
+
+class TestPadding:
+    def test_pad_lengths(self):
+        for n in range(0, 17):
+            padded = pad_pkcs7(b"x" * n, 8)
+            assert len(padded) % 8 == 0
+            assert len(padded) > n  # always at least one pad byte
+
+    def test_roundtrip(self):
+        for n in range(0, 33):
+            data = bytes(range(n % 256))[:n]
+            assert unpad_pkcs7(pad_pkcs7(data, 8), 8) == data
+
+    def test_corrupt_padding_detected(self):
+        padded = bytearray(pad_pkcs7(b"hello", 8))
+        padded[-2] ^= 0xFF  # damage an interior pad byte
+        with pytest.raises(CryptoError):
+            unpad_pkcs7(bytes(padded), 8)
+
+    def test_invalid_length_detected(self):
+        with pytest.raises(CryptoError):
+            unpad_pkcs7(b"1234567", 8)
+        with pytest.raises(CryptoError):
+            unpad_pkcs7(b"", 8)
+
+    def test_bad_block_size(self):
+        with pytest.raises(CryptoError):
+            pad_pkcs7(b"x", 0)
+        with pytest.raises(CryptoError):
+            pad_pkcs7(b"x", 300)
+
+
+class TestECB:
+    def test_roundtrip(self):
+        ecb = ECBCipher(DES(KEY))
+        for payload in (b"", b"short", b"exactly8", b"a" * 100):
+            assert ecb.decrypt(ecb.encrypt(payload)) == payload
+
+    def test_equal_blocks_leak(self):
+        """ECB's defining weakness: identical blocks collide."""
+        ecb = ECBCipher(DES(KEY))
+        ciphertext = ecb.encrypt(b"AAAAAAAA" * 2 + b"BBBBBBBB")
+        assert ciphertext[0:8] == ciphertext[8:16]
+        assert ciphertext[0:8] != ciphertext[16:24]
+
+    def test_non_block_ciphertext_rejected(self):
+        ecb = ECBCipher(DES(KEY))
+        with pytest.raises(CryptoError):
+            ecb.decrypt(b"1234567")
+
+
+class TestCBC:
+    def test_roundtrip(self):
+        cbc = CBCCipher(DES(KEY), IV)
+        for payload in (b"", b"short", b"exactly8", b"a" * 100):
+            assert cbc.decrypt(cbc.encrypt(payload)) == payload
+
+    def test_equal_blocks_hidden(self):
+        """CBC chains, so identical plaintext blocks do not collide."""
+        cbc = CBCCipher(DES(KEY), IV)
+        ciphertext = cbc.encrypt(b"AAAAAAAA" * 2)
+        assert ciphertext[0:8] != ciphertext[8:16]
+
+    def test_iv_matters(self):
+        c1 = CBCCipher(DES(KEY), IV).encrypt(b"same payload")
+        c2 = CBCCipher(DES(KEY), bytes(8)).encrypt(b"same payload")
+        assert c1 != c2
+
+    def test_wrong_iv_size_rejected(self):
+        with pytest.raises(CryptoError):
+            CBCCipher(DES(KEY), b"short")
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, payload):
+        cbc = CBCCipher(DES(KEY), IV)
+        assert cbc.decrypt(cbc.encrypt(payload)) == payload

@@ -1,0 +1,90 @@
+"""The multilevel RSA key chain (paper ref [14])."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.des import DES
+from repro.crypto.multilevel import (
+    MultilevelKeyScheme,
+    chain_inverse_exponent,
+    verify_chain_consistency,
+)
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.exceptions import CryptoError
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return MultilevelKeyScheme(levels=5, rng=random.Random(11))
+
+
+class TestChainDerivation:
+    def test_levels_yield_distinct_keys(self, scheme):
+        keys = [scheme.key_at(level) for level in range(scheme.levels)]
+        assert len(set(keys)) == scheme.levels
+
+    def test_downward_derivation_from_any_level(self, scheme):
+        """A level-2 user derives levels 2..4 and gets the same values the
+        security officer would compute from the master."""
+        k2 = scheme.key_at(2)
+        for target in (2, 3, 4):
+            assert scheme.key_at(target, from_level=2, from_key=k2) == scheme.key_at(target)
+
+    def test_upward_derivation_refused(self, scheme):
+        with pytest.raises(CryptoError):
+            scheme.key_at(0, from_level=2, from_key=scheme.key_at(2))
+
+    def test_level_bounds_checked(self, scheme):
+        with pytest.raises(CryptoError):
+            scheme.key_at(99)
+        with pytest.raises(CryptoError):
+            scheme.key_at(-1)
+
+    def test_chain_consistency(self, scheme):
+        assert verify_chain_consistency(scheme)
+
+    def test_inverse_exponent_undoes_step(self, scheme):
+        d = chain_inverse_exponent(scheme)
+        k1 = scheme.key_at(1)
+        assert pow(k1, d, scheme.keypair.n) == scheme.master % scheme.keypair.n
+
+    def test_one_level_scheme(self):
+        s = MultilevelKeyScheme(levels=1, rng=random.Random(5))
+        assert s.key_at(0) == s.master
+
+    def test_zero_levels_rejected(self):
+        with pytest.raises(CryptoError):
+            MultilevelKeyScheme(levels=0)
+
+
+class TestDesKeys:
+    def test_usable_as_des_keys(self, scheme):
+        for level in range(scheme.levels):
+            des = DES(scheme.des_key(level))
+            block = b"leveldat"
+            assert des.decrypt_block(des.encrypt_block(block)) == block
+
+    def test_levels_get_distinct_des_keys(self, scheme):
+        keys = {scheme.des_key(level) for level in range(scheme.levels)}
+        assert len(keys) == scheme.levels
+
+    def test_derived_from_any_clearance(self, scheme):
+        k1 = scheme.key_at(1)
+        assert scheme.des_key(3, from_level=1, from_key=k1) == scheme.des_key(3)
+
+
+class TestSecretSize:
+    def test_single_chain_element(self, scheme):
+        """A user stores one modulus-sized integer regardless of level --
+        the 'small secret' property the paper leans on."""
+        sizes = {scheme.secret_size_bytes(level) for level in range(scheme.levels)}
+        assert len(sizes) == 1
+        assert sizes.pop() == (scheme.keypair.n.bit_length() + 7) // 8
+
+    def test_explicit_keypair_accepted(self):
+        kp = generate_rsa_keypair(bits=96, rng=random.Random(77))
+        s = MultilevelKeyScheme(levels=3, keypair=kp, master=12345)
+        assert s.key_at(1) == pow(12345, kp.e, kp.n)

@@ -1,0 +1,105 @@
+"""Block designs: axioms, incidence, transformation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.bibd import BlockDesign
+from repro.designs.difference_sets import PAPER_DIFFERENCE_SET, singer_difference_set
+from repro.exceptions import DesignError, NotADesignError
+
+FANO = BlockDesign(
+    v=7,
+    blocks=((0, 1, 3), (1, 2, 4), (2, 3, 5), (3, 4, 6), (4, 5, 0), (5, 6, 1), (6, 0, 2)),
+)
+
+
+class TestConstruction:
+    def test_from_difference_set(self):
+        design = BlockDesign.from_difference_set(PAPER_DIFFERENCE_SET)
+        design.verify()
+        assert design.parameters() == (13, 13, 4, 4, 1)
+        assert design.is_symmetric
+
+    def test_point_out_of_range_rejected(self):
+        with pytest.raises(DesignError):
+            BlockDesign(v=3, blocks=((0, 1, 3),))
+
+    def test_repeated_point_in_block_rejected(self):
+        with pytest.raises(DesignError):
+            BlockDesign(v=5, blocks=((0, 0, 1),))
+
+
+class TestVerification:
+    def test_fano_verifies(self):
+        FANO.verify()
+        assert FANO.parameters() == (7, 7, 3, 3, 1)
+
+    def test_nonuniform_blocks_rejected(self):
+        bad = BlockDesign(v=7, blocks=((0, 1, 3), (1, 2)))
+        with pytest.raises(NotADesignError):
+            bad.verify()
+
+    def test_nonuniform_replication_rejected(self):
+        bad = BlockDesign(v=4, blocks=((0, 1), (0, 2), (0, 3)))
+        with pytest.raises(NotADesignError):
+            bad.verify()
+
+    def test_uncovered_pair_rejected(self):
+        # every point twice, but pair (0,2) and (1,3) never together
+        bad = BlockDesign(v=4, blocks=((0, 1), (2, 3), (0, 1), (2, 3)))
+        with pytest.raises(NotADesignError):
+            bad.verify()
+
+    def test_larger_singer_design_verifies(self):
+        BlockDesign.from_difference_set(singer_difference_set(5)).verify()
+
+
+class TestIncidence:
+    def test_matrix_shape_and_sums(self):
+        matrix = FANO.incidence_matrix()
+        assert len(matrix) == 7 and all(len(row) == 7 for row in matrix)
+        # row sums = r, column sums = k
+        assert all(sum(row) == 3 for row in matrix)
+        for y in range(7):
+            assert sum(matrix[x][y] for x in range(7)) == 3
+
+    def test_matrix_follows_paper_convention(self):
+        """1 in row x, column y iff point x on line y."""
+        matrix = FANO.incidence_matrix()
+        for y, block in enumerate(FANO.blocks):
+            for x in range(7):
+                assert matrix[x][y] == (1 if x in block else 0)
+
+    def test_blocks_through_point(self):
+        for point in range(7):
+            through = FANO.blocks_through(point)
+            assert len(through) == 3
+            assert all(point in FANO.blocks[y] for y in through)
+
+    def test_blocks_through_pair(self):
+        for a in range(7):
+            for b in range(a + 1, 7):
+                assert len(FANO.blocks_through_pair(a, b)) == 1
+
+    def test_point_bounds_checked(self):
+        with pytest.raises(DesignError):
+            FANO.blocks_through(7)
+
+
+class TestTransformation:
+    def test_map_points_preserves_design(self):
+        # any permutation of points yields an isomorphic design
+        permutation = [(3 * x + 1) % 7 for x in range(7)]
+        mapped = FANO.map_points(permutation)
+        mapped.verify()
+
+    def test_map_points_preserves_positions(self):
+        mapping = {x: (x + 1) % 7 for x in range(7)}
+        mapped = FANO.map_points(mapping)
+        for original, new in zip(FANO.blocks, mapped.blocks):
+            assert tuple(mapping[p] for p in original) == new
+
+    def test_restricted_subset(self):
+        sub = FANO.restricted([0, 2, 4])
+        assert sub.blocks == (FANO.blocks[0], FANO.blocks[2], FANO.blocks[4])

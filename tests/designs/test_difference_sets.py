@@ -1,0 +1,160 @@
+"""Difference sets: verification, development, search, Singer construction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs.difference_sets import (
+    PAPER_DIFFERENCE_SET,
+    DifferenceSet,
+    find_difference_set,
+    planar_difference_set,
+    singer_difference_set,
+)
+from repro.exceptions import DesignError, NotADifferenceSetError
+
+
+class TestPaperDesign:
+    def test_parameters(self, paper_design):
+        assert paper_design.parameters() == (13, 4, 1)
+        assert paper_design.b == 13
+        assert paper_design.r == 4
+
+    def test_verifies(self, paper_design):
+        paper_design.verify()
+
+    def test_lines_match_paper_table(self, paper_design):
+        """The left-hand block design of the paper's §4 table."""
+        expected = [
+            (0, 1, 3, 9), (1, 2, 4, 10), (2, 3, 5, 11), (3, 4, 6, 12),
+            (4, 5, 7, 0), (5, 6, 8, 1), (6, 7, 9, 2), (7, 8, 10, 3),
+            (8, 9, 11, 4), (9, 10, 12, 5), (10, 11, 0, 6), (11, 12, 1, 7),
+            (12, 0, 2, 8),
+        ]
+        assert paper_design.develop() == expected
+
+    def test_every_point_on_r_lines(self, paper_design):
+        for point in range(13):
+            assert len(paper_design.lines_containing(point)) == 4
+
+    def test_lines_containing_is_correct(self, paper_design):
+        for point in range(13):
+            for y in paper_design.lines_containing(point):
+                assert point in paper_design.line(y)
+
+
+class TestVerification:
+    def test_bad_counting_identity(self):
+        with pytest.raises(NotADifferenceSetError):
+            DifferenceSet((0, 1, 2), 13, 1).verify()
+
+    def test_bad_differences(self):
+        # right size but not a difference set
+        with pytest.raises(NotADifferenceSetError):
+            DifferenceSet((0, 1, 2, 3), 13, 1).verify()
+
+    def test_is_valid_boolean(self):
+        assert DifferenceSet((0, 1, 3, 9), 13, 1).is_valid()
+        assert not DifferenceSet((0, 1, 2, 4), 13, 1).is_valid()
+
+    def test_duplicate_residues_rejected(self):
+        with pytest.raises(DesignError):
+            DifferenceSet((0, 1, 1, 9), 13, 1)
+
+    def test_out_of_range_residues_rejected(self):
+        with pytest.raises(DesignError):
+            DifferenceSet((0, 1, 3, 13), 13, 1)
+
+    def test_fano_plane(self):
+        DifferenceSet((0, 1, 3), 7, 1).verify()
+
+    def test_biplane(self):
+        # the (11, 5, 2) biplane from quadratic residues mod 11
+        DifferenceSet((1, 3, 4, 5, 9), 11, 2).verify()
+
+
+class TestMultiply:
+    def test_unit_multiple_is_difference_set(self, paper_design):
+        for t in range(1, 13):
+            paper_design.multiply(t).verify()
+
+    def test_paper_multiplier(self, paper_design):
+        assert paper_design.multiply(7).residues == (0, 7, 21 % 13, 63 % 13)
+
+    def test_non_unit_rejected(self):
+        ds = DifferenceSet((0, 1, 3), 7, 1)
+        with pytest.raises(DesignError):
+            DifferenceSet((0, 1, 4, 14, 16), 21, 1).multiply(3)
+        ds.multiply(2)  # unit: fine
+
+
+class TestSearch:
+    def test_finds_fano(self):
+        ds = find_difference_set(7, 3)
+        ds.verify()
+
+    def test_finds_paper_design(self):
+        ds = find_difference_set(13, 4)
+        ds.verify()
+        assert ds.v == 13 and ds.k == 4
+
+    def test_impossible_parameters_rejected(self):
+        with pytest.raises(DesignError):
+            find_difference_set(10, 4, 1)  # k(k-1) != lambda(v-1)
+
+
+class TestSinger:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8, 9])
+    def test_planar_difference_set(self, q):
+        ds = singer_difference_set(q)
+        assert ds.v == q * q + q + 1
+        assert ds.k == q + 1
+        ds.verify()
+
+    def test_catalogue_consistency(self):
+        for order in (2, 3):
+            ds = planar_difference_set(order)
+            ds.verify()
+            assert ds.k == order + 1
+
+    def test_planar_fallthrough_to_singer(self):
+        ds = planar_difference_set(5)
+        assert ds.v == 31
+        ds.verify()
+
+
+class TestLineSums:
+    def test_line_sum_matches_naive(self, paper_design):
+        for y in range(13):
+            assert paper_design.line_sum(y) == sum(paper_design.line(y))
+
+    def test_paper_cumulative_sums(self, paper_design):
+        """The §4.3 table: 13, 30, 51, ... 312."""
+        expected = [13, 30, 51, 76, 92, 112, 136, 164, 196, 232, 259, 290, 312]
+        got = [paper_design.cumulative_line_sum(0, x) for x in range(13)]
+        assert got == expected
+
+    def test_cumulative_matches_naive(self, paper_design):
+        for start in range(13):
+            total = 0
+            for end in range(start, 13):
+                total += paper_design.line_sum(end)
+                assert paper_design.cumulative_line_sum(start, end) == total
+
+    def test_bounds_checked(self, paper_design):
+        with pytest.raises(DesignError):
+            paper_design.line_sum(13)
+        with pytest.raises(DesignError):
+            paper_design.cumulative_line_sum(5, 3)
+
+    @given(st.integers(0, 56), st.integers(0, 56))
+    @settings(max_examples=60)
+    def test_closed_form_property(self, a, b):
+        """Closed-form cumulative sums equal the naive loop on a larger
+        design (the order-7 plane, v = 57)."""
+        ds = singer_difference_set(7)
+        start, end = min(a, b), max(a, b)
+        naive = sum(sum(ds.line(y)) for y in range(start, end + 1))
+        assert ds.cumulative_line_sum(start, end) == naive

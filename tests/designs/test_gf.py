@@ -1,0 +1,136 @@
+"""Finite field arithmetic GF(p^e)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs.gf import GF, find_irreducible, is_prime_power
+from repro.exceptions import DesignError
+
+FIELD_ORDERS = [2, 3, 4, 5, 7, 8, 9, 13, 16, 25, 27]
+
+
+@pytest.mark.parametrize("order", FIELD_ORDERS)
+class TestFieldAxioms:
+    def test_additive_group(self, order):
+        f = GF(order)
+        for a in f.elements():
+            assert f.add(a, 0) == a
+            assert f.add(a, f.neg(a)) == 0
+        # associativity/commutativity spot checks on a grid
+        for a in list(f.elements())[:5]:
+            for b in list(f.elements())[:5]:
+                assert f.add(a, b) == f.add(b, a)
+
+    def test_multiplicative_group(self, order):
+        f = GF(order)
+        for a in f.units():
+            assert f.mul(a, 1) == a
+            assert f.mul(a, f.inv(a)) == 1
+
+    def test_distributivity(self, order):
+        f = GF(order)
+        elems = list(f.elements())
+        for a in elems[: min(4, order)]:
+            for b in elems[: min(4, order)]:
+                for c in elems[: min(4, order)]:
+                    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+    def test_no_zero_divisors(self, order):
+        f = GF(order)
+        for a in f.units():
+            for b in f.units():
+                assert f.mul(a, b) != 0
+
+    def test_primitive_element_generates(self, order):
+        f = GF(order)
+        g = f.primitive_element()
+        powers = set()
+        x = 1
+        for _ in range(order - 1):
+            powers.add(x)
+            x = f.mul(x, g)
+        assert powers == set(f.units())
+
+    def test_frobenius_fixes_prime_subfield(self, order):
+        f = GF(order)
+        # x^p = x holds exactly for the prime subfield GF(p)
+        fixed = [x for x in f.elements() if f.pow(x, f.p) == x]
+        assert len(fixed) == f.p
+
+
+class TestPowAndInverse:
+    def test_fermat_little(self):
+        f = GF(13)
+        for a in f.units():
+            assert f.pow(a, 12) == 1
+
+    def test_negative_exponent(self):
+        f = GF(9)
+        for a in f.units():
+            assert f.pow(a, -1) == f.inv(a)
+            assert f.mul(f.pow(a, -2), f.pow(a, 2)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(DesignError):
+            GF(5).inv(0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DesignError):
+            GF(5).add(5, 1)
+
+
+class TestMultiplicativeOrder:
+    def test_orders_divide_group_order(self):
+        f = GF(16)
+        for a in f.units():
+            order = f.multiplicative_order(a)
+            assert (f.order - 1) % order == 0
+            assert f.pow(a, order) == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(DesignError):
+            GF(4).multiplicative_order(0)
+
+
+class TestIrreducibles:
+    @pytest.mark.parametrize("p,degree", [(2, 2), (2, 3), (3, 2), (3, 3), (5, 3), (7, 3)])
+    def test_found_polynomial_has_no_roots(self, p, degree):
+        coeffs = find_irreducible(p, degree)
+        assert len(coeffs) == degree + 1
+        assert coeffs[-1] == 1  # monic
+        for x in range(p):
+            value = sum(c * pow(x, i, p) for i, c in enumerate(coeffs)) % p
+            assert value != 0  # no linear factor
+
+    def test_degree_one(self):
+        assert find_irreducible(7, 1) == [0, 1]
+
+
+class TestIsPrimePower:
+    def test_classification(self):
+        assert is_prime_power(2)
+        assert is_prime_power(27)
+        assert is_prime_power(16)
+        assert not is_prime_power(1)
+        assert not is_prime_power(6)
+        assert not is_prime_power(12)
+        assert not is_prime_power(100)
+
+    def test_non_prime_power_field_rejected(self):
+        with pytest.raises(DesignError):
+            GF(6)
+
+
+@given(st.sampled_from(FIELD_ORDERS), st.data())
+@settings(max_examples=50)
+def test_field_operations_consistent(order, data):
+    """Random triples satisfy ring identities."""
+    f = GF(order)
+    a = data.draw(st.integers(0, order - 1))
+    b = data.draw(st.integers(0, order - 1))
+    assert f.sub(f.add(a, b), b) == a
+    if b != 0:
+        assert f.mul(f.mul(a, b), f.inv(b)) == a

@@ -1,0 +1,76 @@
+"""Numerical multipliers and the oval-parameter pitfall."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.difference_sets import singer_difference_set
+from repro.designs.multipliers import (
+    is_numerical_multiplier,
+    multiplier_shift,
+    non_multiplier_units,
+    numerical_multipliers,
+)
+from repro.designs.ovals import multiplier_map
+from repro.exceptions import DesignError
+
+
+class TestHallMultipliers:
+    def test_three_is_a_multiplier_of_the_paper_design(self, paper_design):
+        """Hall: primes dividing the order (n = 3) are multipliers."""
+        assert is_numerical_multiplier(paper_design, 3)
+        s = multiplier_shift(paper_design, 3)
+        image = sorted(r * 3 % 13 for r in paper_design.residues)
+        assert image == sorted((r + s) % 13 for r in paper_design.residues)
+
+    def test_two_is_a_multiplier_of_the_fano_development(self):
+        ds = singer_difference_set(2)  # order 2: p = 2 is a multiplier
+        assert is_numerical_multiplier(ds, 2)
+
+    def test_multipliers_form_a_group(self, paper_design):
+        ms = numerical_multipliers(paper_design)
+        assert 1 in ms
+        for a in ms:
+            for b in ms:
+                assert a * b % 13 in ms
+
+    def test_paper_t7_is_not_a_multiplier(self, paper_design):
+        """The paper's example multiplier t = 7 is a good choice: the
+        oval system genuinely differs from the line system."""
+        assert not is_numerical_multiplier(paper_design, 7)
+
+    def test_shift_is_none_for_non_multiplier(self, paper_design):
+        assert multiplier_shift(paper_design, 7) is None
+
+    def test_non_unit_rejected(self):
+        ds = singer_difference_set(4)  # v = 21
+        with pytest.raises(DesignError):
+            is_numerical_multiplier(ds, 7)
+
+
+class TestOvalParameterGuidance:
+    def test_multiplier_t_leaves_design_exposed(self, paper_design):
+        """With a multiplier t the 'oval' blocks are exactly the line
+        blocks (as sets): the structure is not hidden at all."""
+        mapped = multiplier_map(paper_design, 3)
+        lines = {frozenset(b) for b in paper_design.develop()}
+        ovals = {frozenset(b) for b in mapped.blocks}
+        assert ovals == lines
+
+    def test_non_multiplier_t_changes_the_block_system(self, paper_design):
+        mapped = multiplier_map(paper_design, 7)
+        lines = {frozenset(b) for b in paper_design.develop()}
+        ovals = {frozenset(b) for b in mapped.blocks}
+        assert ovals != lines
+
+    def test_recommended_units_exclude_multipliers(self, paper_design):
+        good = non_multiplier_units(paper_design)
+        assert 7 in good
+        assert 3 not in good and 9 not in good and 1 not in good
+        for t in good:
+            assert not is_numerical_multiplier(paper_design, t)
+
+    def test_counts_partition_units(self, paper_design):
+        multipliers = numerical_multipliers(paper_design)
+        good = non_multiplier_units(paper_design)
+        assert len(multipliers) + len(good) == 12  # phi(13)

@@ -1,0 +1,86 @@
+"""Ovals and the line-to-oval multiplier map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.difference_sets import PAPER_DIFFERENCE_SET, singer_difference_set
+from repro.designs.ovals import (
+    conic_points,
+    count_collinear_triples,
+    is_oval,
+    multiplier_map,
+    oval_table,
+)
+from repro.designs.projective import ProjectivePlane
+from repro.exceptions import DesignError
+
+#: The right-hand block of the paper's §4 table: ovals O_0 .. O_12 for t=7.
+PAPER_OVALS = [
+    (0, 7, 8, 11), (7, 1, 2, 5), (1, 8, 9, 12), (8, 2, 3, 6),
+    (2, 9, 10, 0), (9, 3, 4, 7), (3, 10, 11, 1), (10, 4, 5, 8),
+    (4, 11, 12, 2), (11, 5, 6, 9), (5, 12, 0, 3), (12, 6, 7, 10),
+    (6, 0, 1, 4),
+]
+
+
+class TestMultiplierMap:
+    def test_paper_table_reproduced_exactly(self, paper_design):
+        table = oval_table(paper_design, 7)
+        for y, (line, oval) in enumerate(table):
+            assert line == paper_design.line(y)
+            assert oval == PAPER_OVALS[y]
+
+    def test_image_is_a_design(self, paper_design):
+        multiplier_map(paper_design, 7).verify()
+
+    def test_positions_preserved(self, paper_design):
+        mapped = multiplier_map(paper_design, 7)
+        for y in range(13):
+            line = paper_design.line(y)
+            for j, point in enumerate(line):
+                assert mapped.blocks[y][j] == point * 7 % 13
+
+    def test_every_unit_multiplier_works(self, paper_design):
+        for t in range(1, 13):
+            multiplier_map(paper_design, t).verify()
+
+    def test_non_unit_rejected(self):
+        ds = singer_difference_set(4)  # v = 21
+        with pytest.raises(DesignError):
+            multiplier_map(ds, 7)  # gcd(7, 21) != 1
+        with pytest.raises(DesignError):
+            oval_table(ds, 3)
+
+    def test_identity_multiplier(self, paper_design):
+        table = oval_table(paper_design, 1)
+        assert all(line == oval for line, oval in table)
+
+
+class TestGeometricOvals:
+    @pytest.mark.parametrize("order", [3, 5, 7])
+    def test_conic_is_an_oval(self, order):
+        plane = ProjectivePlane(order)
+        points = conic_points(plane)
+        assert len(points) == order + 1
+        assert is_oval(plane, points)
+        assert count_collinear_triples(plane, points) == 0
+
+    def test_line_is_not_an_oval(self):
+        plane = ProjectivePlane(3)
+        assert not is_oval(plane, plane.lines[0])
+        assert count_collinear_triples(plane, plane.lines[0]) == 4  # C(4,3)
+
+    def test_two_points_trivially_oval(self):
+        plane = ProjectivePlane(3)
+        assert is_oval(plane, [0, 1])
+
+    def test_duplicate_points_rejected(self):
+        plane = ProjectivePlane(3)
+        assert not is_oval(plane, [0, 0, 1])
+
+    def test_even_order_conic_is_arc(self):
+        """For q = 4 the conic is still a (q+1)-arc (extendable to a
+        hyperoval); the no-three-collinear property holds regardless."""
+        plane = ProjectivePlane(4)
+        assert is_oval(plane, conic_points(plane))

@@ -1,0 +1,80 @@
+"""Projective planes PG(2, q)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.projective import ProjectivePlane
+from repro.exceptions import DesignError
+
+
+@pytest.mark.parametrize("order", [2, 3, 4, 5])
+class TestPlaneAxioms:
+    def test_counts(self, order):
+        plane = ProjectivePlane(order)
+        v = order * order + order + 1
+        assert len(plane.points) == v
+        assert len(plane.lines) == v
+        assert all(len(line) == order + 1 for line in plane.lines)
+
+    def test_axioms_verify(self, order):
+        ProjectivePlane(order).verify_axioms()
+
+    def test_two_points_span_unique_line(self, order):
+        plane = ProjectivePlane(order)
+        for p1 in range(0, plane.v, max(1, plane.v // 7)):
+            for p2 in range(p1 + 1, plane.v, max(1, plane.v // 7)):
+                line = plane.line_through(p1, p2)
+                assert p1 in plane.lines[line]
+                assert p2 in plane.lines[line]
+
+    def test_design_view_is_symmetric_bibd(self, order):
+        design = ProjectivePlane(order).to_block_design()
+        design.verify()
+        assert design.is_symmetric
+        assert design.parameters() == (
+            order * order + order + 1,
+            order * order + order + 1,
+            order + 1,
+            order + 1,
+            1,
+        )
+
+
+class TestGeometry:
+    def test_same_point_rejected(self):
+        plane = ProjectivePlane(3)
+        with pytest.raises(DesignError):
+            plane.line_through(5, 5)
+
+    def test_collinearity(self):
+        plane = ProjectivePlane(3)
+        line = plane.lines[0]
+        assert plane.are_collinear(line)
+        assert plane.are_collinear(line[:2])  # any two points are collinear
+
+    def test_full_line_plus_outside_point_not_collinear(self):
+        plane = ProjectivePlane(3)
+        line = set(plane.lines[0])
+        outside = next(p for p in range(plane.v) if p not in line)
+        assert not plane.are_collinear([*list(line)[:2], outside])
+
+    def test_point_index_normalises(self):
+        plane = ProjectivePlane(3)
+        # (2, 2, 2) ~ (1, 1, 1) projectively
+        assert plane.point_index((2, 2, 2)) == plane.point_index((1, 1, 1))
+
+    def test_zero_triple_rejected(self):
+        plane = ProjectivePlane(3)
+        with pytest.raises(DesignError):
+            plane.point_index((0, 0, 0))
+
+    def test_tangent_count_at_oval_point(self):
+        """Through each point of an oval in PG(2, q), q odd, there is
+        exactly one tangent line."""
+        from repro.designs.ovals import conic_points
+
+        plane = ProjectivePlane(3)
+        oval = set(conic_points(plane))
+        for point in oval:
+            assert len(plane.tangents_at(point, oval)) == 1

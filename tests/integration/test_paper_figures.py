@@ -1,0 +1,103 @@
+"""E2/E4/E6: the paper's figures, reproduced structurally.
+
+The printed figures are partially corrupted in the scanned text, so the
+assertions target the properties each figure illustrates:
+
+* Figure 1 (oval substitution): the at-rest key sequence is *not* in
+  B-Tree order -- the apparent shape is wrong;
+* Figure 2 (exponentiation): ditto, with substitutes in [1, N);
+* Figure 3 (sum substitution): the substituted tree's shape is
+  *identical* to the plaintext tree's.
+"""
+
+from __future__ import annotations
+
+from repro.btree.codec import PlainNodeCodec
+from repro.btree.render import render_side_by_side, render_substituted, render_tree
+from repro.btree.stats import tree_shape
+from repro.btree.tree import BTree
+from repro.designs.difference_sets import PAPER_DIFFERENCE_SET
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import Pager
+from repro.substitution.exponentiation import ExponentiationSubstitution
+from repro.substitution.oval import OvalSubstitution
+from repro.substitution.sums import SumSubstitution
+
+PAPER_KEYS = list(range(13))  # the figures index search keys 0..12
+
+
+def small_tree(keys) -> BTree:
+    tree = BTree(
+        pager=Pager(SimulatedDisk(block_size=512), cache_blocks=8),
+        codec=PlainNodeCodec(key_bytes=4, pointer_bytes=4),
+        min_degree=2,
+    )
+    for k in keys:
+        tree.insert(k, k)
+    return tree
+
+
+def in_node_order(tree: BTree, transform) -> list[int]:
+    """Keys in in-order traversal, each passed through the disguise --
+    the sequence an opponent reading the tree left-to-right would see."""
+    return [transform(k) for k, _ in tree.items()]
+
+
+class TestE2Figure1Oval:
+    def test_disguised_sequence_breaks_order(self):
+        tree = small_tree(PAPER_KEYS)
+        sub = OvalSubstitution(PAPER_DIFFERENCE_SET, t=7)
+        disguised = in_node_order(tree, sub.substitute)
+        assert disguised != sorted(disguised)
+
+    def test_figure_values(self):
+        """The substituted tree holds {k*7 mod 13}: the 'after' keys of
+        Figure 1 are a permutation of 0..12."""
+        tree = small_tree(PAPER_KEYS)
+        sub = OvalSubstitution(PAPER_DIFFERENCE_SET, t=7)
+        disguised = in_node_order(tree, sub.substitute)
+        assert sorted(disguised) == PAPER_KEYS
+
+    def test_renderer_produces_both_views(self):
+        tree = small_tree(PAPER_KEYS)
+        sub = OvalSubstitution(PAPER_DIFFERENCE_SET, t=7)
+        before = render_tree(tree, title="plaintext")
+        after = render_substituted(tree, sub.substitute, title="substituted")
+        art = render_side_by_side(before, after)
+        assert "plaintext" in art and "substituted" in art
+        assert len(art.splitlines()) >= tree.height()
+
+
+class TestE4Figure2Exponentiation:
+    def test_disguised_sequence_breaks_order(self):
+        keys = list(range(1, 13))  # units of Z_13
+        tree = small_tree(keys)
+        sub = ExponentiationSubstitution(PAPER_DIFFERENCE_SET, t=7, g=7, n_modulus=13)
+        disguised = in_node_order(tree, sub.substitute)
+        assert disguised != sorted(disguised)
+
+    def test_substitutes_are_powers_of_g(self):
+        sub = ExponentiationSubstitution(PAPER_DIFFERENCE_SET, t=7, g=7, n_modulus=13)
+        powers = {pow(7, e, 13) for e in range(13)}
+        for key in range(1, 13):
+            assert sub.substitute(key) in powers
+
+
+class TestE6Figure3Sums:
+    def test_shape_identical_to_plaintext(self):
+        plain = small_tree(PAPER_KEYS)
+        sub = SumSubstitution(PAPER_DIFFERENCE_SET)
+        substituted = small_tree([sub.substitute(k) for k in PAPER_KEYS])
+        assert tree_shape(plain).signature == tree_shape(substituted).signature
+
+    def test_in_order_sequence_is_the_sum_table(self):
+        sub = SumSubstitution(PAPER_DIFFERENCE_SET)
+        tree = small_tree(PAPER_KEYS)
+        disguised = in_node_order(tree, sub.substitute)
+        assert disguised == [13, 30, 51, 76, 92, 112, 136, 164, 196, 232, 259, 290, 312]
+
+    def test_substituted_sequence_still_sorted(self):
+        sub = SumSubstitution(PAPER_DIFFERENCE_SET)
+        tree = small_tree(PAPER_KEYS)
+        disguised = in_node_order(tree, sub.substitute)
+        assert disguised == sorted(disguised)

@@ -1,0 +1,85 @@
+"""E1/E3/E5: the paper's three numeric tables, reproduced exactly.
+
+These tests pin the library to the published values: if any substrate
+drifts, the reproduction is no longer the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.designs.difference_sets import PAPER_DIFFERENCE_SET
+from repro.designs.ovals import oval_table
+from repro.substitution.exponentiation import ExponentiationSubstitution
+from repro.substitution.sums import SumSubstitution
+
+#: §4's side-by-side table (left: lines, right: ovals, t = 7).
+PAPER_TABLE_LINES = [
+    (0, 1, 3, 9), (1, 2, 4, 10), (2, 3, 5, 11), (3, 4, 6, 12),
+    (4, 5, 7, 0), (5, 6, 8, 1), (6, 7, 9, 2), (7, 8, 10, 3),
+    (8, 9, 11, 4), (9, 10, 12, 5), (10, 11, 0, 6), (11, 12, 1, 7),
+    (12, 0, 2, 8),
+]
+PAPER_TABLE_OVALS = [
+    (0, 7, 8, 11), (7, 1, 2, 5), (1, 8, 9, 12), (8, 2, 3, 6),
+    (2, 9, 10, 0), (9, 3, 4, 7), (3, 10, 11, 1), (10, 4, 5, 8),
+    (4, 11, 12, 2), (11, 5, 6, 9), (5, 12, 0, 3), (12, 6, 7, 10),
+    (6, 0, 1, 4),
+]
+
+#: §4.3's table of cumulative treatment sums.
+PAPER_SUM_TABLE = [13, 30, 51, 76, 92, 112, 136, 164, 196, 232, 259, 290, 312]
+
+
+class TestE1DesignTable:
+    def test_lines_and_ovals_match_paper(self):
+        table = oval_table(PAPER_DIFFERENCE_SET, 7)
+        assert [line for line, _ in table] == PAPER_TABLE_LINES
+        assert [oval for _, oval in table] == PAPER_TABLE_OVALS
+
+    def test_thirteen_lines_four_points(self):
+        """'In this example there are 13 lines whereby 4 points occur on
+        every line.'"""
+        table = oval_table(PAPER_DIFFERENCE_SET, 7)
+        assert len(table) == 13
+        assert all(len(line) == 4 and len(oval) == 4 for line, oval in table)
+
+    def test_named_substitutions(self):
+        """'the search key 1 is substituted by 7, 2 by 1, 3 by 8, 4 by 2'."""
+        from repro.substitution.oval import OvalSubstitution
+
+        sub = OvalSubstitution(PAPER_DIFFERENCE_SET, t=7)
+        assert [sub.substitute(k) for k in (1, 2, 3, 4)] == [7, 1, 8, 2]
+
+
+class TestE3ExponentiationTable:
+    def test_exponent_pairs_match_oval_map(self):
+        """Figure 2's table shows 7^e for line treatments and 7^(7e mod 13)
+        for oval treatments; the exponent pairs are exactly the E1 table."""
+        table = oval_table(PAPER_DIFFERENCE_SET, 7)
+        for line, oval in table:
+            for e_line, e_oval in zip(line, oval):
+                assert e_oval == e_line * 7 % 13
+
+    def test_substitution_values(self):
+        sub = ExponentiationSubstitution(PAPER_DIFFERENCE_SET, t=7, g=7, n_modulus=13)
+        for key in range(1, 13):
+            e = sub.canonical_exponent(key)
+            assert pow(7, e, 13) == key
+            assert sub.substitute(key) == pow(7, e * 7 % 13, 13)
+
+    def test_documented_collision(self):
+        """With N = v = 13 the map collides on keys {1, 2} (g^0 = g^12):
+        recorded as a reproduction finding in EXPERIMENTS.md."""
+        sub = ExponentiationSubstitution(PAPER_DIFFERENCE_SET, t=7, g=7, n_modulus=13)
+        assert sub.substitute(1) == sub.substitute(2)
+        assert not sub.is_injective()
+
+
+class TestE5SumTable:
+    def test_exact_cumulative_sums(self):
+        sub = SumSubstitution(PAPER_DIFFERENCE_SET)
+        assert [sub.substitute(k) for k in range(13)] == PAPER_SUM_TABLE
+
+    def test_table_rows_carry_lines(self):
+        table = SumSubstitution(PAPER_DIFFERENCE_SET).substitute_table()
+        assert [row[1] for row in table] == PAPER_TABLE_LINES
+        assert [row[2] for row in table] == PAPER_SUM_TABLE

@@ -1,0 +1,93 @@
+"""Triplet/node sizing arithmetic (substrate for experiment C2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.layout import (
+    NodeLayout,
+    TripletLayout,
+    bytes_for_value,
+    encrypted_key_triplet,
+    plaintext_triplet,
+    substituted_triplet,
+)
+
+
+class TestBytesForValue:
+    def test_known_widths(self):
+        assert bytes_for_value(0) == 1
+        assert bytes_for_value(255) == 1
+        assert bytes_for_value(256) == 2
+        assert bytes_for_value(65535) == 2
+        assert bytes_for_value(2**32 - 1) == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(StorageError):
+            bytes_for_value(-1)
+
+
+class TestTripletLayouts:
+    def test_plaintext(self):
+        layout = plaintext_triplet(max_key=10**6, max_pointer=2**20)
+        assert layout.key_bytes == 3
+        assert layout.pointer_cryptogram_bytes == 6
+        assert layout.triplet_bytes == 9
+
+    def test_substituted_smaller_than_encrypted(self):
+        """The paper's storage claim in miniature: a disguise bounded by v
+        stores far smaller than an RSA cryptogram."""
+        substituted = substituted_triplet(disguise_bound=10**6, cryptogram_bytes=32)
+        encrypted = encrypted_key_triplet(cryptogram_bytes=32)
+        assert substituted.key_bytes == 3
+        assert encrypted.key_bytes == 32
+        assert substituted.triplet_bytes < encrypted.triplet_bytes
+
+
+class TestNodeLayout:
+    def test_max_triplets(self):
+        layout = NodeLayout(
+            block_size=4096,
+            triplet=TripletLayout(key_bytes=4, pointer_cryptogram_bytes=16),
+        )
+        n = layout.max_triplets
+        # n triplets + 1 extra pointer cryptogram + header must fit
+        assert 8 + 16 + n * 20 <= 4096
+        assert 8 + 16 + (n + 1) * 20 > 4096
+
+    def test_fanout(self):
+        layout = NodeLayout(
+            block_size=4096,
+            triplet=TripletLayout(key_bytes=4, pointer_cryptogram_bytes=16),
+        )
+        assert layout.fanout == layout.max_triplets + 1
+
+    def test_block_too_small_rejected(self):
+        layout = NodeLayout(
+            block_size=64,
+            triplet=TripletLayout(key_bytes=32, pointer_cryptogram_bytes=32),
+        )
+        with pytest.raises(StorageError):
+            _ = layout.max_triplets
+
+    def test_min_depth(self):
+        layout = NodeLayout(
+            block_size=4096,
+            triplet=TripletLayout(key_bytes=4, pointer_cryptogram_bytes=16),
+        )
+        f = layout.fanout
+        assert layout.min_depth_for(0) == 0
+        assert layout.min_depth_for(1) == 1
+        assert layout.min_depth_for(f - 1) == 1
+        assert layout.min_depth_for(f) == 2
+        assert layout.min_depth_for(f * f - 1) == 2
+        assert layout.min_depth_for(f * f) == 3
+
+    def test_deeper_trees_for_fatter_triplets(self):
+        """Experiment C2's monotonicity: fatter triplets, deeper trees."""
+        records = 10**6
+        thin = NodeLayout(4096, TripletLayout(4, 16))
+        fat = NodeLayout(4096, TripletLayout(128, 128))
+        assert fat.fanout < thin.fanout
+        assert fat.min_depth_for(records) >= thin.min_depth_for(records)

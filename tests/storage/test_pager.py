@@ -1,0 +1,82 @@
+"""Pager cache behaviour."""
+
+from __future__ import annotations
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import Pager
+
+
+def make_pager(capacity: int) -> Pager:
+    disk = SimulatedDisk(block_size=64)
+    return Pager(disk, cache_blocks=capacity)
+
+
+class TestCaching:
+    def test_hit_avoids_disk(self):
+        pager = make_pager(4)
+        b = pager.allocate()
+        pager.write(b, b"cached")
+        pager.disk.stats.reset()
+        assert pager.read(b) == b"cached"
+        assert pager.disk.stats.reads == 0
+        assert pager.stats.hits == 1
+
+    def test_zero_capacity_always_misses(self):
+        pager = make_pager(0)
+        b = pager.allocate()
+        pager.write(b, b"data")
+        pager.read(b)
+        pager.read(b)
+        assert pager.stats.hits == 0
+        assert pager.disk.stats.reads == 2
+
+    def test_lru_eviction(self):
+        pager = make_pager(2)
+        blocks = [pager.allocate() for _ in range(3)]
+        for b in blocks:
+            pager.write(b, f"block{b}".encode())
+        # cache now holds blocks[1], blocks[2]; blocks[0] was evicted
+        pager.disk.stats.reset()
+        pager.read(blocks[0])
+        assert pager.disk.stats.reads == 1
+        pager.disk.stats.reset()
+        pager.read(blocks[2])
+        assert pager.disk.stats.reads == 0
+
+    def test_write_through(self):
+        pager = make_pager(4)
+        b = pager.allocate()
+        pager.write(b, b"persisted")
+        assert pager.disk.read_block(b) == b"persisted"
+
+    def test_write_refreshes_cache(self):
+        pager = make_pager(4)
+        b = pager.allocate()
+        pager.write(b, b"old")
+        pager.write(b, b"new")
+        assert pager.read(b) == b"new"
+        assert pager.stats.hits == 1
+
+    def test_invalidate(self):
+        pager = make_pager(4)
+        b = pager.allocate()
+        pager.write(b, b"x")
+        pager.invalidate(b)
+        pager.read(b)
+        assert pager.stats.misses == 1
+
+    def test_clear_cache(self):
+        pager = make_pager(4)
+        b = pager.allocate()
+        pager.write(b, b"x")
+        pager.clear_cache()
+        pager.read(b)
+        assert pager.stats.hits == 0
+
+    def test_hit_rate(self):
+        pager = make_pager(4)
+        b = pager.allocate()
+        pager.write(b, b"x")
+        pager.read(b)
+        pager.read(b)
+        assert pager.stats.hit_rate == 1.0

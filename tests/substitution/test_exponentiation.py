@@ -1,0 +1,132 @@
+"""§4.2 exponentiation substitution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.difference_sets import singer_difference_set
+from repro.exceptions import KeyUniverseError, SubstitutionError
+from repro.substitution.exponentiation import ExponentiationSubstitution
+
+
+@pytest.fixture
+def paper_sub(paper_design):
+    """The paper's own configuration: g = 7, N = 13 over (13,4,1)."""
+    return ExponentiationSubstitution(paper_design, t=7, g=7, n_modulus=13)
+
+
+@pytest.fixture
+def sparse_sub():
+    """An injective configuration: N = 23 > v = 21."""
+    return ExponentiationSubstitution(
+        singer_difference_set(4), t=2, g=5, n_modulus=23
+    )
+
+
+class TestPaperConfiguration:
+    def test_canonical_exponent_respects_scan_order(self, paper_sub):
+        """Key 1 = 7^0 = 7^12; L0 contains treatment 0, so the scan picks
+        exponent 0, not 12."""
+        assert paper_sub.canonical_exponent(1) == 0
+
+    def test_substitution_follows_oval_exponents(self, paper_sub, paper_design):
+        for key in range(1, 13):
+            e = paper_sub.canonical_exponent(key)
+            assert pow(7, e, 13) == key
+            expected = pow(7, e * 7 % 13, 13)
+            assert paper_sub.substitute(key) == expected
+
+    def test_scan_mode_agrees_with_direct(self, paper_design):
+        direct = ExponentiationSubstitution(paper_design, t=7, g=7, n_modulus=13)
+        scan = ExponentiationSubstitution(
+            paper_design, t=7, g=7, n_modulus=13, mode="scan"
+        )
+        for key in range(1, 13):
+            assert direct.substitute(key) == scan.substitute(key)
+
+    def test_paper_example_is_not_injective(self, paper_sub):
+        """A genuine finding: with N = v = 13, g^0 = g^12 makes keys 1 and
+        2 share the substitute 1.  The paper does not remark on this."""
+        assert not paper_sub.is_injective()
+        assert paper_sub.substitute(1) == paper_sub.substitute(2) == 1
+
+    def test_non_colliding_keys_roundtrip(self, paper_sub):
+        for key in range(3, 13):
+            assert paper_sub.invert(paper_sub.substitute(key)) == key
+
+
+class TestSparseConfiguration:
+    def test_injective(self, sparse_sub):
+        assert sparse_sub.is_injective()
+
+    def test_universe_is_powers_below_v(self, sparse_sub):
+        keys = sparse_sub.representable_keys()
+        assert len(keys) == 21  # v distinct keys... one per treatment < v
+        for key in keys:
+            e = sparse_sub.canonical_exponent(key)
+            assert e < 21
+            assert pow(5, e, 23) == key
+
+    def test_full_roundtrip(self, sparse_sub):
+        for key in sparse_sub.representable_keys():
+            assert sparse_sub.invert(sparse_sub.substitute(key)) == key
+
+    def test_unrepresentable_key_rejected(self, sparse_sub):
+        representable = set(sparse_sub.representable_keys())
+        missing = next(k for k in range(1, 23) if k not in representable)
+        with pytest.raises(KeyUniverseError):
+            sparse_sub.substitute(missing)
+
+    def test_sparse_universe_raises_on_range_request(self, sparse_sub):
+        with pytest.raises(SubstitutionError):
+            sparse_sub.key_universe()
+
+    def test_substitutes_stay_in_modulus(self, sparse_sub):
+        for key in sparse_sub.representable_keys():
+            assert 1 <= sparse_sub.substitute(key) < 23
+
+
+class TestValidation:
+    def test_composite_modulus_rejected(self, paper_design):
+        with pytest.raises(SubstitutionError):
+            ExponentiationSubstitution(paper_design, t=7, g=7, n_modulus=15)
+
+    def test_modulus_below_v_rejected(self):
+        ds = singer_difference_set(4)  # v = 21
+        with pytest.raises(SubstitutionError):
+            ExponentiationSubstitution(ds, t=2, g=2, n_modulus=19)
+
+    def test_non_primitive_g_rejected(self, paper_design):
+        # ord(3) mod 13 = 3
+        with pytest.raises(SubstitutionError):
+            ExponentiationSubstitution(paper_design, t=7, g=3, n_modulus=13)
+
+    def test_non_unit_multiplier_rejected(self):
+        ds = singer_difference_set(4)
+        with pytest.raises(SubstitutionError):
+            ExponentiationSubstitution(ds, t=3, g=5, n_modulus=23)
+
+    def test_zero_key_rejected(self, paper_sub):
+        with pytest.raises(KeyUniverseError):
+            paper_sub.substitute(0)
+        with pytest.raises(KeyUniverseError):
+            paper_sub.invert(0)
+
+
+class TestAccounting:
+    def test_secret_includes_g_and_n(self, paper_sub):
+        secret = paper_sub.secret_material()
+        assert secret["g"] == 7
+        assert secret["N"] == 13
+        assert secret["first_line"] == (0, 1, 3, 9)
+
+    def test_max_substitute(self, paper_sub):
+        assert paper_sub.max_substitute() == 12
+
+    def test_dense_universe_when_v_covers_group(self, paper_sub):
+        assert paper_sub.key_universe() == range(1, 13)
+
+    def test_not_order_preserving(self, sparse_sub):
+        keys = sparse_sub.representable_keys()
+        values = [sparse_sub.substitute(k) for k in keys]
+        assert values != sorted(values)

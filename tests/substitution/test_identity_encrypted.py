@@ -1,0 +1,84 @@
+"""Identity and encrypted-key baselines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.base import CountingCipher
+from repro.crypto.rsa import RSA, generate_rsa_keypair
+from repro.exceptions import KeyUniverseError
+from repro.substitution.encrypted import EncryptedKeySubstitution
+from repro.substitution.identity import IdentitySubstitution
+
+
+class TestIdentity:
+    def test_noop(self):
+        sub = IdentitySubstitution(bound=100)
+        for k in (0, 42, 99):
+            assert sub.substitute(k) == k
+            assert sub.invert(k) == k
+
+    def test_order_preserving_with_empty_secret(self):
+        sub = IdentitySubstitution(bound=10)
+        assert sub.order_preserving
+        assert sub.secret_material() == {}
+        assert sub.secret_size_bytes() == 0
+
+    def test_universe(self):
+        sub = IdentitySubstitution(bound=10)
+        assert sub.key_universe() == range(10)
+        assert sub.max_substitute() == 9
+        with pytest.raises(KeyUniverseError):
+            sub.substitute(10)
+
+
+class TestEncryptedKeys:
+    @pytest.fixture(scope="class")
+    def cipher(self):
+        return RSA(generate_rsa_keypair(bits=96, rng=random.Random(9)))
+
+    def test_roundtrip(self, cipher):
+        sub = EncryptedKeySubstitution(cipher, key_bound=1000)
+        for k in (0, 1, 500, 999):
+            assert sub.invert(sub.substitute(k)) == k
+
+    def test_substitutes_fill_modulus_range(self, cipher):
+        """The storage penalty: cryptograms are modulus-sized, not
+        key-sized."""
+        sub = EncryptedKeySubstitution(cipher, key_bound=1000)
+        assert sub.max_substitute() == cipher.modulus - 1
+        assert sub.max_substitute() > 10**20  # 96-bit modulus
+
+    def test_not_order_preserving(self, cipher):
+        sub = EncryptedKeySubstitution(cipher, key_bound=100)
+        values = [sub.substitute(k) for k in range(100)]
+        assert values != sorted(values)
+
+    def test_each_substitute_is_a_real_encryption(self, cipher):
+        counting = CountingCipher(cipher)
+        sub = EncryptedKeySubstitution(counting, key_bound=100)
+        sub.substitute(5)
+        sub.substitute(6)
+        sub.invert(sub.substitute(7))
+        assert counting.counts.encryptions == 3
+        assert counting.counts.decryptions == 1
+
+    def test_secret_is_rsa_key_material(self, cipher):
+        sub = EncryptedKeySubstitution(cipher, key_bound=100)
+        secret = sub.secret_material()
+        assert secret["n"] == cipher.keypair.n
+        assert "d" in secret
+        # n + e + d for a 96-bit modulus: noticeably larger than the
+        # handful of bytes a design secret needs
+        assert sub.secret_size_bytes() >= 24
+
+    def test_universe_enforced(self, cipher):
+        sub = EncryptedKeySubstitution(cipher, key_bound=10)
+        with pytest.raises(KeyUniverseError):
+            sub.substitute(10)
+
+    def test_secret_unwraps_counting_decorator(self, cipher):
+        sub = EncryptedKeySubstitution(CountingCipher(cipher), key_bound=10)
+        assert sub.secret_material()["n"] == cipher.keypair.n

@@ -1,0 +1,136 @@
+"""§4.1 oval substitution."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs.difference_sets import singer_difference_set
+from repro.exceptions import KeyUniverseError, SubstitutionError
+from repro.substitution.oval import OvalSubstitution
+
+
+class TestPaperExample:
+    def test_paper_substitutions(self, paper_design):
+        """'the search key 1 is substituted by 7, 2 by 1, 3 by 8, 4 by 2
+        and so on.'"""
+        sub = OvalSubstitution(paper_design, t=7)
+        assert sub.substitute(1) == 7
+        assert sub.substitute(2) == 1
+        assert sub.substitute(3) == 8
+        assert sub.substitute(4) == 2
+
+    def test_full_mapping_is_multiplication(self, paper_design):
+        sub = OvalSubstitution(paper_design, t=7)
+        for k in range(13):
+            assert sub.substitute(k) == k * 7 % 13
+
+    def test_inversion(self, paper_design):
+        sub = OvalSubstitution(paper_design, t=7)
+        for k in range(13):
+            assert sub.invert(sub.substitute(k)) == k
+
+    def test_substitution_is_permutation(self, paper_design):
+        sub = OvalSubstitution(paper_design, t=7)
+        images = {sub.substitute(k) for k in range(13)}
+        assert images == set(range(13))
+
+
+class TestScanFidelity:
+    def test_scan_equals_direct(self, paper_design):
+        direct = OvalSubstitution(paper_design, t=7, mode="direct")
+        scan = OvalSubstitution(paper_design, t=7, mode="scan")
+        for k in range(13):
+            assert direct.substitute(k) == scan.substitute(k)
+
+    def test_scan_equals_direct_larger_design(self):
+        ds = singer_difference_set(5)  # v = 31
+        direct = OvalSubstitution(ds, t=12, mode="direct")
+        scan = OvalSubstitution(ds, t=12, mode="scan")
+        for k in range(31):
+            assert direct.substitute(k) == scan.substitute(k)
+
+    def test_scan_lines_needed(self, paper_design):
+        sub = OvalSubstitution(paper_design, t=7)
+        # key 0 is on L0 (residue 0): one line generated
+        assert sub.scan_lines_needed(0) == 1
+        # key appears first on line min((k - d) mod v)
+        for k in range(13):
+            y = sub.scan_lines_needed(k) - 1
+            assert k in paper_design.line(y)
+            assert all(k not in paper_design.line(earlier) for earlier in range(y))
+
+    def test_bad_mode_rejected(self, paper_design):
+        with pytest.raises(SubstitutionError):
+            OvalSubstitution(paper_design, t=7, mode="fancy")
+
+
+class TestValidation:
+    def test_non_unit_multiplier_rejected(self):
+        ds = singer_difference_set(4)  # v = 21
+        with pytest.raises(SubstitutionError):
+            OvalSubstitution(ds, t=7)  # gcd(7,21) = 7
+
+    def test_universe_enforced(self, paper_design):
+        sub = OvalSubstitution(paper_design, t=7)
+        with pytest.raises(KeyUniverseError):
+            sub.substitute(13)
+        with pytest.raises(KeyUniverseError):
+            sub.substitute(-1)
+        with pytest.raises(KeyUniverseError):
+            sub.invert(13)
+
+    def test_not_order_preserving(self, paper_design):
+        sub = OvalSubstitution(paper_design, t=7)
+        assert not sub.order_preserving
+        values = [sub.substitute(k) for k in range(13)]
+        assert values != sorted(values)
+
+
+class TestAccounting:
+    def test_counters(self, paper_design):
+        sub = OvalSubstitution(paper_design, t=7)
+        sub.substitute(1)
+        sub.substitute(2)
+        sub.invert(7)
+        assert sub.counters.substitutions == 2
+        assert sub.counters.inversions == 1
+        assert sub.counters.total == 3
+        sub.reset_counters()
+        assert sub.counters.total == 0
+
+    def test_secret_material(self, paper_design):
+        sub = OvalSubstitution(paper_design, t=7)
+        secret = sub.secret_material()
+        assert secret["v"] == 13
+        assert secret["first_line"] == (0, 1, 3, 9)
+        assert secret["multiplier"] == 7
+        # tiny secret: the paper's storage advantage
+        assert sub.secret_size_bytes() < 16
+
+    def test_max_substitute(self, paper_design):
+        assert OvalSubstitution(paper_design, t=7).max_substitute() == 12
+
+
+@given(t=st.integers(1, 30), key=st.integers(0, 30))
+@settings(max_examples=80)
+def test_roundtrip_property(t, key):
+    ds = singer_difference_set(5)  # v = 31 prime: every t in [1,30] is a unit
+    sub = OvalSubstitution(ds, t=t)
+    assert sub.invert(sub.substitute(key)) == key
+
+
+class TestMultiplierGuard:
+    def test_design_multiplier_rejected_when_asked(self, paper_design):
+        # 3 is a Hall multiplier of {0,1,3,9} mod 13
+        with pytest.raises(SubstitutionError):
+            OvalSubstitution(paper_design, t=3, reject_design_multipliers=True)
+
+    def test_non_multiplier_accepted(self, paper_design):
+        sub = OvalSubstitution(paper_design, t=7, reject_design_multipliers=True)
+        assert sub.substitute(1) == 7
+
+    def test_default_is_permissive(self, paper_design):
+        # backwards-compatible: the paper itself never mentions the issue
+        OvalSubstitution(paper_design, t=3)

@@ -1,0 +1,78 @@
+"""The rank-based §4.3 variant (explicit key census)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs.difference_sets import singer_difference_set
+from repro.exceptions import KeyUniverseError, SubstitutionError
+from repro.substitution.sums import RankedSumSubstitution, SumSubstitution
+
+
+class TestRankedSums:
+    def test_sparse_census_roundtrip(self, paper_design):
+        sub = RankedSumSubstitution(paper_design, [10**9, 5, 123456, 42])
+        for key in (5, 42, 123456, 10**9):
+            assert sub.invert(sub.substitute(key)) == key
+
+    def test_order_preserved_on_arbitrary_keys(self, paper_design):
+        keys = [99, 3, 500, 220, 7]
+        sub = RankedSumSubstitution(paper_design, keys)
+        values = [sub.substitute(k) for k in sorted(keys)]
+        assert values == sorted(values)
+        assert len(set(values)) == len(keys)
+
+    def test_agrees_with_fixed_universe_on_dense_range(self, paper_design):
+        ranked = RankedSumSubstitution(paper_design, list(range(13)))
+        fixed = SumSubstitution(paper_design)
+        for key in range(13):
+            assert ranked.substitute(key) == fixed.substitute(key)
+
+    def test_duplicates_collapse(self, paper_design):
+        sub = RankedSumSubstitution(paper_design, [5, 5, 9, 9])
+        assert sub.census_keys() == [5, 9]
+
+    def test_unknown_key_rejected(self, paper_design):
+        sub = RankedSumSubstitution(paper_design, [1, 2, 3])
+        with pytest.raises(KeyUniverseError):
+            sub.substitute(4)
+
+    def test_census_too_large_rejected(self, paper_design):
+        with pytest.raises(SubstitutionError):
+            RankedSumSubstitution(paper_design, list(range(14)))
+
+    def test_empty_census_rejected(self, paper_design):
+        with pytest.raises(SubstitutionError):
+            RankedSumSubstitution(paper_design, [])
+
+    def test_census_is_part_of_the_secret(self, paper_design):
+        """The honest trade-off: the ranked variant carries a conversion
+        table, which the fixed-universe variant avoids."""
+        ranked = RankedSumSubstitution(paper_design, [100, 200, 300])
+        fixed = SumSubstitution(paper_design, num_keys=3)
+        assert "census" in ranked.secret_material()
+        assert ranked.secret_size_bytes() > fixed.secret_size_bytes()
+
+    def test_lower_bound_for_ranges(self, paper_design):
+        sub = RankedSumSubstitution(paper_design, [10, 20, 30])
+        # endpoint between census keys maps to the next key's substitute
+        assert sub.substitute_lower_bound(15) == sub.substitute(20)
+        assert sub.substitute_lower_bound(-5) == sub.substitute(10)
+        assert sub.substitute_lower_bound(99) == sub.substitute(30)
+
+    def test_sparse_universe_raises_on_range_request(self, paper_design):
+        with pytest.raises(SubstitutionError):
+            RankedSumSubstitution(paper_design, [1]).key_universe()
+
+    @given(
+        keys=st.lists(st.integers(0, 10**12), min_size=1, max_size=50, unique=True),
+        w=st.integers(0, 5),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, keys, w):
+        ds = singer_difference_set(7)  # v = 57
+        sub = RankedSumSubstitution(ds, keys, start_line=w)
+        for key in keys:
+            assert sub.invert(sub.substitute(key)) == key

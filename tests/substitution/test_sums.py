@@ -1,0 +1,121 @@
+"""§4.3 sum-of-treatments substitution."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs.difference_sets import singer_difference_set
+from repro.exceptions import KeyUniverseError, SubstitutionError
+from repro.substitution.sums import SumSubstitution
+
+PAPER_SUMS = [13, 30, 51, 76, 92, 112, 136, 164, 196, 232, 259, 290, 312]
+
+
+class TestPaperTable:
+    def test_exact_values(self, paper_design):
+        sub = SumSubstitution(paper_design)
+        assert [sub.substitute(k) for k in range(13)] == PAPER_SUMS
+
+    def test_substitute_table(self, paper_design):
+        sub = SumSubstitution(paper_design)
+        table = sub.substitute_table()
+        assert table[0] == (0, (0, 1, 3, 9), 13)
+        assert table[12][2] == 312
+
+    def test_order_preserved(self, paper_design):
+        """'a set of integers maintaining that ascending order'."""
+        sub = SumSubstitution(paper_design)
+        values = [sub.substitute(k) for k in range(13)]
+        assert values == sorted(values)
+        assert len(set(values)) == 13
+
+    def test_inversion(self, paper_design):
+        sub = SumSubstitution(paper_design)
+        for k in range(13):
+            assert sub.invert(sub.substitute(k)) == k
+
+    def test_non_substitute_rejected_on_invert(self, paper_design):
+        sub = SumSubstitution(paper_design)
+        with pytest.raises(SubstitutionError):
+            sub.invert(14)
+
+
+class TestStartingLine:
+    def test_window_shifts_values(self, paper_design):
+        """With w > 0 the first substitute is the sum of L_w, not L_0 --
+        hiding the design's first block."""
+        sub = SumSubstitution(paper_design, start_line=2, num_keys=5)
+        assert sub.substitute(0) == paper_design.line_sum(2)
+        assert sub.substitute(1) == paper_design.line_sum(2) + paper_design.line_sum(3)
+
+    def test_window_bounds_enforced(self, paper_design):
+        # paper: w + R < v - 1
+        SumSubstitution(paper_design, start_line=3, num_keys=9)
+        with pytest.raises(SubstitutionError):
+            SumSubstitution(paper_design, start_line=3, num_keys=10)
+
+    def test_bad_start_rejected(self, paper_design):
+        with pytest.raises(SubstitutionError):
+            SumSubstitution(paper_design, start_line=13)
+
+    def test_universe_enforced(self, paper_design):
+        sub = SumSubstitution(paper_design, num_keys=10)
+        with pytest.raises(KeyUniverseError):
+            sub.substitute(10)
+
+
+class TestOrderPreservation:
+    @given(
+        w=st.integers(0, 20),
+        data=st.data(),
+    )
+    @settings(max_examples=60)
+    def test_strictly_increasing_property(self, w, data):
+        ds = singer_difference_set(5)  # v = 31
+        max_keys = ds.v - 1 - w if w else ds.v
+        n = data.draw(st.integers(2, max_keys))
+        sub = SumSubstitution(ds, start_line=w, num_keys=n)
+        values = [sub.substitute(k) for k in range(n)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    @given(data=st.data())
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, data):
+        ds = singer_difference_set(7)  # v = 57
+        w = data.draw(st.integers(0, 30))
+        n = data.draw(st.integers(1, ds.v - 1 - w if w else ds.v))
+        key = data.draw(st.integers(0, n - 1))
+        sub = SumSubstitution(ds, start_line=w, num_keys=n)
+        assert sub.invert(sub.substitute(key)) == key
+
+    def test_comparison_proxy(self, paper_design):
+        """Order preservation means comparisons transfer: a < b iff
+        f(a) < f(b)."""
+        sub = SumSubstitution(paper_design)
+        for a in range(13):
+            for b in range(13):
+                assert (a < b) == (sub.substitute(a) < sub.substitute(b))
+
+
+class TestLowerBound:
+    def test_clamps_out_of_universe(self, paper_design):
+        sub = SumSubstitution(paper_design, num_keys=10)
+        assert sub.substitute_lower_bound(-5) == sub.substitute(0)
+        assert sub.substitute_lower_bound(99) == sub.substitute(9)
+        assert sub.substitute_lower_bound(4) == sub.substitute(4)
+
+
+class TestAccounting:
+    def test_flagged_order_preserving(self, paper_design):
+        assert SumSubstitution(paper_design).order_preserving
+
+    def test_secret_material(self, paper_design):
+        sub = SumSubstitution(paper_design, start_line=2, num_keys=5)
+        secret = sub.secret_material()
+        assert secret["start_line"] == 2
+        assert secret["first_line"] == (0, 1, 3, 9)
+
+    def test_max_substitute(self, paper_design):
+        assert SumSubstitution(paper_design).max_substitute() == 312

@@ -1,0 +1,88 @@
+"""Workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.workloads.generators import (
+    KeyWorkload,
+    payloads_for,
+    point_queries,
+    range_queries,
+    sample_keys,
+)
+
+
+class TestSampleKeys:
+    def test_uniform_distinct_and_in_universe(self):
+        keys = sample_keys(range(1000), 200, "uniform", seed=1)
+        assert len(keys) == len(set(keys)) == 200
+        assert all(0 <= k < 1000 for k in keys)
+
+    def test_sequential(self):
+        assert sample_keys(range(5, 100), 10, "sequential") == list(range(5, 15))
+
+    def test_clustered_has_runs(self):
+        keys = sample_keys(range(10000), 256, "clustered", seed=2)
+        assert len(keys) == len(set(keys)) == 256
+        consecutive = sum(1 for a, b in zip(keys, keys[1:]) if b == a + 1)
+        assert consecutive > 100  # dense runs dominate
+
+    def test_deterministic(self):
+        assert sample_keys(range(100), 10, seed=5) == sample_keys(range(100), 10, seed=5)
+        assert sample_keys(range(100), 10, seed=5) != sample_keys(range(100), 10, seed=6)
+
+    def test_oversampling_rejected(self):
+        with pytest.raises(ReproError):
+            sample_keys(range(10), 11)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ReproError):
+            sample_keys(range(10), 2, "zipf")
+
+
+class TestPayloads:
+    def test_size_and_determinism(self):
+        p1 = payloads_for([1, 2, 3], size=32, seed=1)
+        p2 = payloads_for([1, 2, 3], size=32, seed=1)
+        assert p1 == p2
+        assert all(len(v) == 32 for v in p1.values())
+
+    def test_identifiable_prefix(self):
+        payloads = payloads_for([42], size=32)
+        assert payloads[42].startswith(b"record:42:")
+
+
+class TestQueries:
+    def test_point_all_hits(self):
+        keys = [1, 5, 9]
+        qs = point_queries(keys, 50, hit_rate=1.0, seed=1)
+        assert all(q in keys for q in qs)
+
+    def test_point_all_misses(self):
+        keys = [1, 5, 9]
+        qs = point_queries(keys, 50, hit_rate=0.0, seed=1)
+        assert all(q not in keys for q in qs)
+
+    def test_hit_rate_bounds(self):
+        with pytest.raises(ReproError):
+            point_queries([1], 5, hit_rate=1.5)
+
+    def test_ranges_respect_selectivity(self):
+        ranges = range_queries(range(1000), 20, selectivity=0.1, seed=1)
+        assert all(hi - lo + 1 == 100 for lo, hi in ranges)
+        assert all(0 <= lo <= hi < 1100 for lo, hi in ranges)
+
+    def test_selectivity_bounds(self):
+        with pytest.raises(ReproError):
+            range_queries(range(10), 5, selectivity=0.0)
+
+
+class TestKeyWorkload:
+    def test_bundle(self):
+        wl = KeyWorkload(universe=range(500), count=100, seed=4)
+        assert len(wl.keys) == 100
+        assert set(wl.payloads) == set(wl.keys)
+        assert len(wl.lookups(30)) == 30
+        assert len(wl.ranges(5, 0.2)) == 5
