@@ -80,6 +80,12 @@ class EncipheredBTree:
     block_size / min_degree / cache_blocks:
         Node-block geometry.  ``min_degree`` defaults to the largest value
         that fits ``block_size`` under the codec's layout.
+    write_back:
+        ``False`` (default) keeps the pager write-through, which the
+        paper's experiments require (every node rewrite is a disk
+        write); ``True`` defers node writes to eviction or
+        :meth:`flush`, coalescing hot-block rewrites.  Cipher counts are
+        identical either way -- deferral happens below the codec.
     data_key:
         8-byte key for the independent data-block cipher.
     """
@@ -92,6 +98,7 @@ class EncipheredBTree:
         block_size: int = 4096,
         min_degree: int | None = None,
         cache_blocks: int = 0,
+        write_back: bool = False,
         data_key: bytes = b"\x13\x34\x57\x79\x9b\xbc\xdf\xf1",
         record_size: int = 120,
         extra_pointer_mode: str = "encrypt",
@@ -117,7 +124,7 @@ class EncipheredBTree:
             extra_pointer_mode=extra_pointer_mode,
         )
         self.disk = SimulatedDisk(block_size=block_size)
-        self.pager = Pager(self.disk, cache_blocks=cache_blocks)
+        self.pager = Pager(self.disk, cache_blocks=cache_blocks, write_back=write_back)
         if min_degree is None:
             min_degree = self._fit_min_degree(block_size)
         self.tree = BTree(pager=self.pager, codec=self.codec, min_degree=min_degree)
@@ -157,6 +164,26 @@ class EncipheredBTree:
         record_id = self.tree.search(key)
         self.tree.delete(key)
         self.records.delete(record_id)
+
+    def bulk_load(self, items) -> None:
+        """Ingest ``(key, record)`` pairs via the bottom-up tree build.
+
+        Each node block is enciphered and written exactly once; requires
+        an empty tree.  On failure the stored records are freed again.
+        """
+        pairs = []
+        try:
+            for key, record in items:
+                pairs.append((key, self.records.put(record)))
+            self.tree.bulk_load(pairs)
+        except Exception:
+            for _, record_id in pairs:
+                self.records.delete(record_id)
+            raise
+
+    def flush(self) -> int:
+        """Push dirty node pages to disk (no-op under write-through)."""
+        return self.pager.flush()
 
     def range_search(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
         """All ``(key, record)`` pairs with ``lo <= key <= hi``.

@@ -34,16 +34,23 @@ class BlockTransform(Protocol):
 
 @dataclass
 class DiskStats:
-    """Counters for physical block traffic."""
+    """Counters for physical block traffic.
+
+    ``overwrites`` counts writes landing on a block that already held
+    data -- the quantity a write-back pager drives down by coalescing
+    repeated rewrites of hot blocks (benchmark C7).
+    """
 
     reads: int = 0
     writes: int = 0
+    overwrites: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
 
     def reset(self) -> None:
         self.reads = 0
         self.writes = 0
+        self.overwrites = 0
         self.bytes_read = 0
         self.bytes_written = 0
 
@@ -120,6 +127,8 @@ class SimulatedDisk:
                 f"payload of {len(stored)} bytes overflows {self.block_size}-byte block",
                 block_id=block_id,
             )
+        if self._blocks[block_id] is not None:
+            self.stats.overwrites += 1
         self._blocks[block_id] = stored
         self.stats.writes += 1
         self.stats.bytes_written += len(stored)

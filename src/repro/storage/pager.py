@@ -1,4 +1,4 @@
-"""Block allocation and a raw-block LRU cache.
+"""Block allocation and a raw-block LRU cache with two write policies.
 
 The pager sits between the B-Tree and the simulated disk.  Its cache holds
 blocks in their *post-transform* (i.e. still plain, the disk transform is
@@ -7,6 +7,25 @@ which is where the per-triplet cryptography lives -- always happens above
 the pager, so cache hits save disk I/O but never hide cryptographic cost.
 That separation keeps the decryption counts of experiments C1/C3 faithful
 to the paper's model, where every node *visit* pays its decryptions.
+
+Two write policies are offered:
+
+* **write-through** (the default): every :meth:`Pager.write` goes straight
+  to the disk.  This is the mode the paper's experiments (C1/C3 and the
+  E-series) must run in -- each node rewrite is a disk write, so the
+  reported I/O counts match the paper's per-operation cost model exactly.
+* **write-back** (``write_back=True``): writes only mark the cached copy
+  dirty; bytes reach the disk when the block is evicted (evict-writes-
+  dirty), on :meth:`Pager.flush`, or never if :meth:`Pager.discard_dirty`
+  drops them first.  Repeated rewrites of a hot block -- the superblock,
+  a leaf absorbing a batch of inserts -- coalesce into one disk write,
+  which is the amortisation a transactional commit layer builds on.
+  Deferral happens *below* the node codec, so cryptographic counts are
+  identical in both modes; only disk-write counts change.
+
+:class:`PagerStats` tracks both the read-side cache effectiveness and the
+write-side amplification (logical write requests vs. blocks that actually
+hit the platter), which benchmark C7 reports.
 """
 
 from __future__ import annotations
@@ -19,14 +38,28 @@ from repro.storage.disk import SimulatedDisk
 
 @dataclass
 class PagerStats:
-    """Cache effectiveness counters."""
+    """Cache-effectiveness and write-traffic counters.
+
+    ``write_requests`` counts logical writes asked of the pager;
+    ``disk_writes`` counts blocks the pager actually pushed to disk.  In
+    write-through mode the two are equal; in write-back mode coalescing
+    makes ``disk_writes`` the smaller number.
+    """
 
     hits: int = 0
     misses: int = 0
+    write_requests: int = 0
+    disk_writes: int = 0
+    dirty_evictions: int = 0
+    flushes: int = 0
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.write_requests = 0
+        self.disk_writes = 0
+        self.dirty_evictions = 0
+        self.flushes = 0
 
     @property
     def accesses(self) -> int:
@@ -36,9 +69,19 @@ class PagerStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    @property
+    def writes_deferred(self) -> int:
+        """Logical writes that never became their own disk write."""
+        return self.write_requests - self.disk_writes
+
+    @property
+    def write_amplification(self) -> float:
+        """Disk writes per logical write (1.0 in write-through mode)."""
+        return self.disk_writes / self.write_requests if self.write_requests else 0.0
+
 
 class Pager:
-    """Write-through pager with an optional LRU cache of block bytes.
+    """LRU block cache with write-through or write-back semantics.
 
     Parameters
     ----------
@@ -46,43 +89,123 @@ class Pager:
         The underlying block device.
     cache_blocks:
         Cache capacity in blocks; ``0`` disables caching entirely, which
-        the benchmarks use to measure cold-traversal costs.
+        the benchmarks use to measure cold-traversal costs.  (With
+        ``write_back=True`` and no cache, every dirty page is evicted --
+        and therefore written -- immediately, degenerating to
+        write-through.)
+    write_back:
+        ``False`` (default) writes through to disk on every
+        :meth:`write`; ``True`` defers writes to eviction or
+        :meth:`flush`.
+
+    Attributes
+    ----------
+    retain_dirty:
+        When ``True``, eviction never selects a dirty page (the cache may
+        temporarily exceed ``cache_blocks``).  A transaction sets this so
+        that uncommitted pages stay discardable for rollback; the bound
+        is restored by the :meth:`flush` or :meth:`discard_dirty` that
+        ends the transaction.
     """
 
-    def __init__(self, disk: SimulatedDisk, cache_blocks: int = 64) -> None:
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        cache_blocks: int = 64,
+        write_back: bool = False,
+    ) -> None:
         self.disk = disk
         self.capacity = cache_blocks
+        self.write_back = write_back
+        self.retain_dirty = False
         self.stats = PagerStats()
         self._cache: OrderedDict[int, bytes] = OrderedDict()
+        self._dirty: set[int] = set()
 
     def allocate(self) -> int:
         """Reserve a fresh block id."""
         return self.disk.allocate()
 
+    @property
+    def dirty_blocks(self) -> int:
+        """Number of cached pages holding unwritten data."""
+        return len(self._dirty)
+
     def read(self, block_id: int) -> bytes:
-        """Read block bytes, consulting the cache first."""
-        if self.capacity:
-            cached = self._cache.get(block_id)
-            if cached is not None:
-                self._cache.move_to_end(block_id)
-                self.stats.hits += 1
-                return cached
+        """Read block bytes, consulting the cache first.
+
+        In write-back mode the cache is authoritative: a dirty page is
+        newer than the platter, so the cached copy is always returned.
+        """
+        cached = self._cache.get(block_id)
+        if cached is not None:
+            self._cache.move_to_end(block_id)
+            self.stats.hits += 1
+            return cached
         self.stats.misses += 1
         data = self.disk.read_block(block_id)
         self._remember(block_id, data)
         return data
 
     def write(self, block_id: int, data: bytes) -> None:
-        """Write through to disk and refresh the cache."""
-        self.disk.write_block(block_id, data)
-        self._remember(block_id, data)
+        """Write a block: through to disk, or into the dirty set."""
+        self.stats.write_requests += 1
+        if self.write_back:
+            self._cache[block_id] = data
+            self._cache.move_to_end(block_id)
+            self._dirty.add(block_id)
+            self._evict_over_capacity()
+        else:
+            self.stats.disk_writes += 1
+            self.disk.write_block(block_id, data)
+            self._remember(block_id, data)
+
+    def flush(self) -> int:
+        """Write every dirty page to disk; returns the number written.
+
+        A no-op (and uncounted) when nothing is dirty, so write-through
+        callers can flush unconditionally at commit points.
+        """
+        if not self._dirty:
+            return 0
+        for block_id in sorted(self._dirty):
+            self.stats.disk_writes += 1
+            self.disk.write_block(block_id, self._cache[block_id])
+        flushed = len(self._dirty)
+        self._dirty.clear()
+        self.stats.flushes += 1
+        self._evict_over_capacity()
+        return flushed
+
+    def discard_dirty(self) -> int:
+        """Drop every dirty page *without* writing it (rollback support).
+
+        The platter keeps whatever it last held for those blocks; returns
+        the number of pages discarded.
+        """
+        dropped = len(self._dirty)
+        for block_id in self._dirty:
+            self._cache.pop(block_id, None)
+        self._dirty.clear()
+        self._evict_over_capacity()
+        return dropped
 
     def invalidate(self, block_id: int) -> None:
-        """Drop a block from the cache (e.g. after deallocation)."""
+        """Drop a block from the cache (e.g. after deallocation).
+
+        A dirty page is dropped unwritten: the block is dead, its bytes
+        must not resurface at the next flush.
+        """
         self._cache.pop(block_id, None)
+        self._dirty.discard(block_id)
 
     def clear_cache(self) -> None:
-        """Empty the cache; used to force cold benchmark runs."""
+        """Empty the cache; used to force cold benchmark runs.
+
+        Dirty pages are flushed first -- clearing the cache must never
+        lose written data.
+        """
+        self.flush()
         self._cache.clear()
 
     def _remember(self, block_id: int, data: bytes) -> None:
@@ -90,5 +213,22 @@ class Pager:
             return
         self._cache[block_id] = data
         self._cache.move_to_end(block_id)
+        self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
         while len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
+            victim = next(iter(self._cache))  # LRU order
+            if victim in self._dirty:
+                if self.retain_dirty:
+                    victim = next(
+                        (b for b in self._cache if b not in self._dirty), None
+                    )
+                    if victim is None:
+                        return  # everything is dirty and pinned
+                else:
+                    # evict-writes-dirty: the page's last chance to reach disk
+                    self.stats.disk_writes += 1
+                    self.stats.dirty_evictions += 1
+                    self.disk.write_block(victim, self._cache[victim])
+                    self._dirty.discard(victim)
+            self._cache.pop(victim)

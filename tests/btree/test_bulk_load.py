@@ -1,0 +1,118 @@
+"""Bottom-up bulk loading: equivalence with insertion, packing, safety."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.btree.codec import PlainNodeCodec
+from repro.btree.tree import BTree
+from repro.exceptions import BTreeError, DuplicateKeyError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import Pager
+
+
+def make_tree(min_degree: int = 3, cache: int = 8) -> BTree:
+    disk = SimulatedDisk(block_size=512)
+    return BTree(
+        pager=Pager(disk, cache_blocks=cache),
+        codec=PlainNodeCodec(key_bytes=4, pointer_bytes=4),
+        min_degree=min_degree,
+    )
+
+
+def pairs_of(n: int, seed: int = 0) -> list[tuple[int, int]]:
+    keys = random.Random(seed).sample(range(10 * n + 10), n)
+    return [(k, k * 7 + 1) for k in keys]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("min_degree", [2, 3, 5])
+    @pytest.mark.parametrize("n", [1, 2, 5, 17, 64, 300])
+    def test_same_items_as_sequential_insert(self, min_degree, n):
+        pairs = pairs_of(n, seed=n)
+        loaded = make_tree(min_degree)
+        loaded.bulk_load(pairs)
+        inserted = make_tree(min_degree)
+        for k, v in pairs:
+            inserted.insert(k, v)
+        loaded.check_invariants()
+        inserted.check_invariants()
+        assert list(loaded.items()) == list(inserted.items())
+        assert loaded.size == inserted.size == n
+        for k, v in pairs:
+            assert loaded.search(k) == v
+
+    def test_boundary_sizes_around_node_capacity(self):
+        # a degree-t node holds 2t-1 keys; exercise every size near the
+        # one-node/two-node and one-level/two-level boundaries
+        for t in (2, 3):
+            fill = 2 * t - 1
+            for n in range(1, (fill + 1) * (fill + 1) + 2):
+                tree = make_tree(t)
+                tree.bulk_load([(k, k) for k in range(n)])
+                tree.check_invariants()
+                assert [k for k, _ in tree.items()] == list(range(n))
+
+    def test_accepts_unsorted_input(self):
+        tree = make_tree()
+        tree.bulk_load([(3, 30), (1, 10), (2, 20)])
+        assert list(tree.items()) == [(1, 10), (2, 20), (3, 30)]
+
+    def test_empty_load_is_noop(self):
+        tree = make_tree()
+        tree.bulk_load([])
+        tree.check_invariants()
+        assert tree.size == 0
+        tree.insert(1, 10)
+        assert tree.search(1) == 10
+
+
+class TestPacking:
+    def test_leaves_are_packed(self):
+        # sequential insertion leaves nodes half-full after splits; the
+        # bulk loader packs them, so the loaded tree uses fewer blocks
+        pairs = [(k, k) for k in range(500)]
+        loaded = make_tree(3)
+        loaded.bulk_load(pairs)
+        inserted = make_tree(3)
+        for k, v in pairs:
+            inserted.insert(k, v)
+        assert len(loaded.node_ids()) < len(inserted.node_ids())
+
+    def test_each_node_written_once(self):
+        tree = make_tree(3, cache=0)
+        tree.pager.stats.reset()
+        tree.bulk_load([(k, k) for k in range(300)])
+        assert tree.pager.stats.write_requests == len(tree.node_ids())
+
+
+class TestSafety:
+    def test_rejects_nonempty_tree(self):
+        tree = make_tree()
+        tree.insert(1, 10)
+        with pytest.raises(BTreeError):
+            tree.bulk_load([(2, 20)])
+        assert tree.search(1) == 10
+
+    def test_rejects_duplicate_keys(self):
+        tree = make_tree()
+        with pytest.raises(DuplicateKeyError):
+            tree.bulk_load([(1, 10), (2, 20), (1, 11)])
+        # validation precedes any block write: the tree is still usable
+        tree.check_invariants()
+        tree.insert(5, 50)
+        assert tree.search(5) == 50
+
+    def test_tree_stays_mutable_after_load(self):
+        tree = make_tree(2)
+        pairs = pairs_of(120, seed=9)
+        tree.bulk_load(pairs)
+        extra = max(k for k, _ in pairs) + 1
+        tree.insert(extra, 999)
+        for k, _ in pairs[:60]:
+            tree.delete(k)
+        tree.check_invariants()
+        assert tree.search(extra) == 999
+        assert tree.size == 61

@@ -7,9 +7,16 @@ import random
 import pytest
 
 from repro.core.database import EncipheredDatabase
+from repro.crypto.base import CountingCipher
 from repro.crypto.rsa import RSA, generate_rsa_keypair
 from repro.designs.difference_sets import planar_difference_set
-from repro.exceptions import IntegrityError
+from repro.exceptions import (
+    BTreeError,
+    DuplicateKeyError,
+    IntegrityError,
+    KeyNotFoundError,
+    StorageError,
+)
 from repro.substitution.oval import OvalSubstitution
 
 DESIGN = planar_difference_set(13)
@@ -89,3 +96,228 @@ class TestSuperblockSecurity:
         )
         assert reopened.tree.root_id == db.tree.root_id
         assert len(reopened) == 120
+
+
+class TestTransactions:
+    def test_commit_on_clean_exit(self, db, cipher):
+        with db.transaction():
+            for k in range(30):
+                db.insert(k, f"r{k}".encode())
+        reopened = EncipheredDatabase.reopen(
+            OvalSubstitution(DESIGN, t=5), cipher, db.disk, db.records
+        )
+        assert len(reopened) == 30
+        assert reopened.search(17) == b"r17"
+
+    def test_writes_deferred_until_commit(self, db):
+        db.disk.stats.reset()
+        with db.transaction():
+            for k in range(25):
+                db.insert(k, b"x")
+            # nothing -- not even the superblock -- hit the node disk yet
+            assert db.disk.stats.writes == 0
+            assert db.search(12) == b"x"
+        assert db.disk.stats.writes > 0
+        # batching beats one-superblock-rewrite-per-insert on its own
+        assert db.disk.stats.writes < 25
+
+    def test_rollback_restores_committed_state(self, db, cipher):
+        for k in range(10):
+            db.insert(k, f"base{k}".encode())
+        records_before = db.records.count
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                for k in range(10, 40):
+                    db.insert(k, b"doomed")
+                db.delete(3)
+                raise RuntimeError("abort")
+        assert len(db) == 10
+        db.tree.check_invariants()
+        # the deleted record survived: its slot free was deferred
+        assert db.search(3) == b"base3"
+        # the doomed inserts' slots were freed again
+        assert db.records.count == records_before
+        reopened = EncipheredDatabase.reopen(
+            OvalSubstitution(DESIGN, t=5), cipher, db.disk, db.records
+        )
+        assert len(reopened) == 10
+
+    def test_rollback_leaves_db_usable(self, db):
+        db.insert(1, b"one")
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert(2, b"two")
+                raise RuntimeError("abort")
+        db.insert(3, b"three")
+        assert db.search(1) == b"one"
+        assert db.search(3) == b"three"
+        with pytest.raises(KeyNotFoundError):
+            db.search(2)
+
+    def test_commit_inside_transaction_sets_rollback_point(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert(1, b"kept")
+                db.commit()
+                db.insert(2, b"doomed")
+                raise RuntimeError("abort")
+        assert db.search(1) == b"kept"
+        with pytest.raises(KeyNotFoundError):
+            db.search(2)
+
+    def test_transactions_do_not_nest(self, db):
+        with db.transaction():
+            with pytest.raises(StorageError):
+                with db.transaction():
+                    pass
+
+    def test_pager_mode_restored_after_transaction(self, db):
+        pager = db.tree.pager
+        assert pager.write_back is False
+        with db.transaction():
+            assert pager.write_back is True
+            assert pager.retain_dirty is True
+        assert pager.write_back is False
+        assert pager.retain_dirty is False
+        assert pager.dirty_blocks == 0
+
+    def test_manual_commit_without_autocommit(self, db, cipher):
+        db.autocommit = False
+        db.insert(1, b"x")
+        db.insert(2, b"y")
+        # superblock still describes the empty tree
+        with pytest.raises(IntegrityError):
+            EncipheredDatabase.reopen(
+                OvalSubstitution(DESIGN, t=5), cipher, db.disk, db.records
+            )
+        db.commit()
+        reopened = EncipheredDatabase.reopen(
+            OvalSubstitution(DESIGN, t=5), cipher, db.disk, db.records
+        )
+        assert len(reopened) == 2
+
+    def test_write_back_database_round_trip(self, cipher):
+        db = EncipheredDatabase.create(
+            OvalSubstitution(DESIGN, t=5), cipher, write_back=True
+        )
+        with db.transaction():
+            for k in range(50):
+                db.insert(k, f"r{k}".encode())
+        reopened = EncipheredDatabase.reopen(
+            OvalSubstitution(DESIGN, t=5), cipher, db.disk, db.records
+        )
+        assert len(reopened) == 50
+        assert reopened.search(49) == b"r49"
+
+
+class TestBulkLoad:
+    def test_equivalent_to_sequential_insert(self, db, cipher):
+        keys = random.Random(7).sample(range(DESIGN.v), 90)
+        db.bulk_load((k, f"r{k}".encode()) for k in keys)
+        db.tree.check_invariants()
+        inserted = EncipheredDatabase.create(OvalSubstitution(DESIGN, t=5), cipher)
+        for k in keys:
+            inserted.insert(k, f"r{k}".encode())
+        assert db.range_search(0, DESIGN.v) == inserted.range_search(0, DESIGN.v)
+        reopened = EncipheredDatabase.reopen(
+            OvalSubstitution(DESIGN, t=5), cipher, db.disk, db.records
+        )
+        assert len(reopened) == 90
+
+    def test_requires_empty_database(self, db):
+        db.insert(1, b"x")
+        with pytest.raises(BTreeError):
+            db.bulk_load([(2, b"y")])
+        assert db.search(1) == b"x"
+
+    def test_failed_load_frees_records(self, db):
+        before = db.records.count
+        with pytest.raises(DuplicateKeyError):
+            db.bulk_load([(1, b"a"), (1, b"b")])
+        assert db.records.count == before
+        db.bulk_load([(1, b"a"), (2, b"b")])
+        assert db.search(2) == b"b"
+
+
+class TestBugfixRegressions:
+    def test_counting_cipher_reused_not_double_wrapped(self, cipher):
+        counting = CountingCipher(cipher)
+        db = EncipheredDatabase.create(OvalSubstitution(DESIGN, t=5), counting)
+        assert db.pointer_cipher is counting
+        db.insert(1, b"x")
+        db.search(1)
+        # one layer sees every operation; a second wrapper would have
+        # split the tallies and halved what the caller's handle reports
+        assert counting.counts.encryptions > 0
+        assert counting.counts.decryptions > 0
+        reopened = EncipheredDatabase.reopen(
+            OvalSubstitution(DESIGN, t=5), counting, db.disk, db.records
+        )
+        assert reopened.pointer_cipher is counting
+
+    def test_delete_writes_superblock_even_if_record_free_fails(self, db, cipher, monkeypatch):
+        for k in range(5):
+            db.insert(k, b"x")
+
+        def boom(record_id):
+            raise StorageError("slot free failed")
+
+        monkeypatch.setattr(db.records, "delete", boom)
+        with pytest.raises(StorageError):
+            db.delete(2)
+        monkeypatch.undo()
+        # the tree lost the key; the superblock must agree with it, or
+        # the database can never be reopened (the slot merely leaks)
+        reopened = EncipheredDatabase.reopen(
+            OvalSubstitution(DESIGN, t=5), cipher, db.disk, db.records
+        )
+        assert len(reopened) == 4
+        with pytest.raises(KeyNotFoundError):
+            reopened.search(2)
+
+    def test_read_superblock_narrowed_exception(self, db, cipher):
+        class ExplodingDisk:
+            def read_block(self, block_id):
+                raise RuntimeError("programming error, not a bad key")
+
+        # a non-cryptographic failure must not masquerade as a key problem
+        with pytest.raises(RuntimeError):
+            EncipheredDatabase._read_superblock(ExplodingDisk(), b"\x00" * 8)
+        # while genuine decipherment failures still map to IntegrityError
+        db.disk._blocks[0] = bytes(len(db.disk._blocks[0]))
+        with pytest.raises(IntegrityError):
+            EncipheredDatabase.reopen(
+                OvalSubstitution(DESIGN, t=5), cipher, db.disk, db.records
+            )
+
+    def test_rollback_preserves_pretransaction_uncommitted_writes(self, cipher):
+        """Dirty pages written *before* the scope are flushed on entry,
+        so rolling the scope back cannot discard them."""
+        db = EncipheredDatabase.create(
+            OvalSubstitution(DESIGN, t=5), cipher,
+            write_back=True, autocommit=False,
+        )
+        db.insert(1, b"pre-txn")
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert(2, b"doomed")
+                raise RuntimeError("abort")
+        assert len(db) == 1
+        assert db.search(1) == b"pre-txn"
+        db.commit()
+        reopened = EncipheredDatabase.reopen(
+            OvalSubstitution(DESIGN, t=5), cipher, db.disk, db.records
+        )
+        assert len(reopened) == 1
+        assert reopened.search(1) == b"pre-txn"
+
+    def test_bulk_load_frees_records_when_put_fails_midway(self, cipher):
+        db = EncipheredDatabase.create(
+            OvalSubstitution(DESIGN, t=5), cipher, record_size=8
+        )
+        before = db.records.count
+        with pytest.raises(StorageError):
+            db.bulk_load([(1, b"ok"), (2, b"way too long for the slot"), (3, b"ok")])
+        assert db.records.count == before
+        db.bulk_load([(1, b"a"), (2, b"b")])
+        assert db.search(2) == b"b"

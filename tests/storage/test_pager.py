@@ -6,9 +6,9 @@ from repro.storage.disk import SimulatedDisk
 from repro.storage.pager import Pager
 
 
-def make_pager(capacity: int) -> Pager:
+def make_pager(capacity: int, write_back: bool = False) -> Pager:
     disk = SimulatedDisk(block_size=64)
-    return Pager(disk, cache_blocks=capacity)
+    return Pager(disk, cache_blocks=capacity, write_back=write_back)
 
 
 class TestCaching:
@@ -80,3 +80,137 @@ class TestCaching:
         pager.read(b)
         pager.read(b)
         assert pager.stats.hit_rate == 1.0
+
+
+class TestWriteBack:
+    def test_write_defers_disk(self):
+        pager = make_pager(4, write_back=True)
+        b = pager.allocate()
+        pager.write(b, b"deferred")
+        assert pager.disk.stats.writes == 0
+        assert pager.dirty_blocks == 1
+        # the cache is authoritative: reads see the unwritten data
+        assert pager.read(b) == b"deferred"
+
+    def test_flush_coalesces_rewrites(self):
+        pager = make_pager(4, write_back=True)
+        b = pager.allocate()
+        for i in range(5):
+            pager.write(b, f"v{i}".encode())
+        assert pager.flush() == 1
+        assert pager.disk.stats.writes == 1
+        assert pager.disk.read_block(b) == b"v4"
+        assert pager.stats.write_requests == 5
+        assert pager.stats.disk_writes == 1
+        assert pager.stats.writes_deferred == 4
+
+    def test_second_flush_is_noop(self):
+        pager = make_pager(4, write_back=True)
+        b = pager.allocate()
+        pager.write(b, b"x")
+        assert pager.flush() == 1
+        assert pager.flush() == 0
+        assert pager.disk.stats.writes == 1
+        assert pager.stats.flushes == 1
+
+    def test_evict_writes_dirty(self):
+        pager = make_pager(2, write_back=True)
+        blocks = [pager.allocate() for _ in range(3)]
+        for b in blocks:
+            pager.write(b, f"block{b}".encode())
+        # capacity 2: the LRU dirty page was evicted -- and written
+        assert pager.disk.stats.writes == 1
+        assert pager.stats.dirty_evictions == 1
+        assert pager.disk.read_block(blocks[0]) == b"block0"
+        # the remaining two reach disk only at flush
+        assert pager.flush() == 2
+
+    def test_retain_dirty_pins_pages_beyond_capacity(self):
+        pager = make_pager(1, write_back=True)
+        pager.retain_dirty = True
+        blocks = [pager.allocate() for _ in range(3)]
+        for b in blocks:
+            pager.write(b, f"block{b}".encode())
+        assert pager.disk.stats.writes == 0
+        assert pager.dirty_blocks == 3
+        assert pager.flush() == 3
+        # flush restores the cache bound
+        assert pager.stats.hits + pager.stats.misses == 0
+        pager.read(blocks[0])
+        pager.read(blocks[0])
+        assert pager.stats.misses <= 2  # cache shrank to capacity 1
+
+    def test_discard_dirty_keeps_platter_state(self):
+        pager = make_pager(4, write_back=True)
+        b = pager.allocate()
+        pager.write(b, b"committed")
+        pager.flush()
+        pager.write(b, b"uncommitted")
+        assert pager.discard_dirty() == 1
+        assert pager.read(b) == b"committed"
+        assert pager.disk.read_block(b) == b"committed"
+
+    def test_discard_of_never_written_block(self):
+        pager = make_pager(4, write_back=True)
+        b = pager.allocate()
+        pager.write(b, b"only in cache")
+        pager.discard_dirty()
+        assert pager.dirty_blocks == 0
+        assert pager.disk.stats.writes == 0
+
+    def test_invalidate_drops_dirty_page_unwritten(self):
+        pager = make_pager(4, write_back=True)
+        b = pager.allocate()
+        pager.write(b, b"dead")
+        pager.invalidate(b)
+        assert pager.flush() == 0
+        assert pager.disk.stats.writes == 0
+
+    def test_clear_cache_flushes_first(self):
+        pager = make_pager(4, write_back=True)
+        b = pager.allocate()
+        pager.write(b, b"must survive")
+        pager.clear_cache()
+        assert pager.disk.read_block(b) == b"must survive"
+
+    def test_zero_capacity_degenerates_to_write_through(self):
+        pager = make_pager(0, write_back=True)
+        b = pager.allocate()
+        pager.write(b, b"x")
+        assert pager.disk.stats.writes == 1
+        assert pager.dirty_blocks == 0
+
+    def test_write_amplification_stats(self):
+        pager = make_pager(8, write_back=True)
+        b = pager.allocate()
+        for _ in range(4):
+            pager.write(b, b"x")
+        pager.flush()
+        assert pager.stats.write_amplification == 0.25
+        wt = make_pager(8)
+        c = wt.allocate()
+        for _ in range(4):
+            wt.write(c, b"x")
+        assert wt.stats.write_amplification == 1.0
+
+    def test_write_through_counts_match(self):
+        pager = make_pager(4)
+        b = pager.allocate()
+        pager.write(b, b"x")
+        pager.write(b, b"y")
+        assert pager.stats.write_requests == 2
+        assert pager.stats.disk_writes == 2
+        assert pager.dirty_blocks == 0
+
+
+class TestDiskOverwrites:
+    def test_overwrite_counter(self):
+        disk = SimulatedDisk(block_size=64)
+        b = disk.allocate()
+        disk.write_block(b, b"first")
+        assert disk.stats.overwrites == 0
+        disk.write_block(b, b"second")
+        disk.write_block(b, b"third")
+        assert disk.stats.overwrites == 2
+        disk.stats.reset()
+        assert disk.stats.overwrites == 0
