@@ -122,6 +122,20 @@ def test_c7_write_amplification(benchmark, reporter):
         ],
     )
 
+    reporter.metric("num_keys", NUM_KEYS)
+    for name, r in results.items():
+        reporter.metric(
+            name,
+            {
+                "node_writes": r["node_writes"],
+                "writes_per_insert": r["node_writes"] / NUM_KEYS,
+                "node_overwrites": r["node_overwrites"],
+                "pointer_encryptions": r["encryptions"],
+                "pointer_decryptions": r["decryptions"],
+                "ops_per_sec": NUM_KEYS / r["elapsed"],
+            },
+        )
+
     wt = results["write-through"]
     wb = results["write-back"]
     bl = results["bulk-load"]

@@ -6,6 +6,11 @@ claims).  Each writes a human-readable table to ``benchmarks/results/``
 so that EXPERIMENTS.md can quote measured numbers verbatim, and wraps its
 core computation in the ``benchmark`` fixture for timing.
 
+Experiments that call :meth:`Reporter.metric` additionally write a
+machine-readable ``benchmarks/results/<id>.json`` next to the ``.txt``,
+so a performance trajectory can be tracked across PRs by diffing or
+plotting the JSON files.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
@@ -13,6 +18,7 @@ Run with::
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -41,6 +47,7 @@ class Reporter:
     def __init__(self, experiment_id: str) -> None:
         self.experiment_id = experiment_id
         self._chunks: list[str] = []
+        self._metrics: dict[str, object] = {}
 
     def section(self, title: str, body: str) -> None:
         self._chunks.append(f"== {title} ==\n{body}\n")
@@ -48,10 +55,23 @@ class Reporter:
     def table(self, title: str, headers: list[str], rows: list[list[object]]) -> None:
         self.section(title, format_table(headers, rows))
 
+    def metric(self, key: str, value: object) -> None:
+        """Record one machine-readable result (JSON scalar / list / dict)."""
+        self._metrics[key] = value
+
+    def metrics(self, mapping: dict[str, object]) -> None:
+        """Record several machine-readable results at once."""
+        self._metrics.update(mapping)
+
     def flush(self) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         text = f"# Experiment {self.experiment_id}\n\n" + "\n".join(self._chunks)
         (RESULTS_DIR / f"{self.experiment_id}.txt").write_text(text)
+        if self._metrics:
+            payload = {"experiment": self.experiment_id, "metrics": self._metrics}
+            (RESULTS_DIR / f"{self.experiment_id}.json").write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
         print(f"\n{text}")
 
 

@@ -20,6 +20,13 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
 """
 
+from repro.cluster import (
+    ClusterStats,
+    HashRouter,
+    RangeRouter,
+    ShardedEncipheredDatabase,
+    ShardRouter,
+)
 from repro.core import (
     BayerMetzgerBTree,
     EncipheredBTree,
@@ -55,11 +62,13 @@ __version__ = "1.0.0"
 __all__ = [
     "BayerMetzgerBTree",
     "BlockDesign",
+    "ClusterStats",
     "DifferenceSet",
     "EncipheredBTree",
     "EncipheredDatabase",
     "EncryptedKeySubstitution",
     "ExponentiationSubstitution",
+    "HashRouter",
     "IdentitySubstitution",
     "KeySubstitution",
     "MultilevelEncipheredBTree",
@@ -67,9 +76,12 @@ __all__ = [
     "PAPER_DIFFERENCE_SET",
     "PlainBTreeSystem",
     "ProjectivePlane",
+    "RangeRouter",
     "RankedSumSubstitution",
     "ReproError",
     "SecurityFilter",
+    "ShardRouter",
+    "ShardedEncipheredDatabase",
     "SumSubstitution",
     "TraversalCost",
     "non_multiplier_units",

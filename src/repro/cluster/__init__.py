@@ -1,0 +1,35 @@
+"""Horizontal partitioning of enciphered databases (``repro.cluster``).
+
+The paper's enciphered B-Tree is a single-file, single-threaded
+structure.  This package scales it out the classical way -- N shards,
+each a private :class:`~repro.core.database.EncipheredDatabase` -- with a
+security bonus specific to enciphered storage: every shard carries its
+own substitution secret and independently derived superblock/data keys,
+so one compromised shard opens one shard, and an opponent dumping all
+platters cannot correlate block frequencies across shards.
+
+* :mod:`repro.cluster.router` -- hash and range key-to-shard routing;
+* :mod:`repro.cluster.sharded` -- the
+  :class:`~repro.cluster.sharded.ShardedEncipheredDatabase` engine
+  (thread-pool fan-out, per-shard key derivation, cross-shard
+  transactions);
+* :mod:`repro.cluster.stats` -- per-shard and aggregated counter rollups.
+
+Benchmark C8 (``benchmarks/bench_c8_sharding.py``) measures the
+cluster's write amplification, range-query speedup and cross-shard block
+indistinguishability.
+"""
+
+from repro.cluster.router import HashRouter, RangeRouter, ShardRouter
+from repro.cluster.sharded import ShardedEncipheredDatabase, derive_shard_key
+from repro.cluster.stats import ClusterStats, merge_counter_dicts
+
+__all__ = [
+    "ClusterStats",
+    "HashRouter",
+    "RangeRouter",
+    "ShardRouter",
+    "ShardedEncipheredDatabase",
+    "derive_shard_key",
+    "merge_counter_dicts",
+]

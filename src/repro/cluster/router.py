@@ -1,0 +1,137 @@
+"""Key-to-shard routing strategies for the sharded enciphered database.
+
+A router is a pure, deterministic function from plaintext search keys to
+shard indices -- it must survive process restarts (reopen) bit-for-bit,
+so :class:`HashRouter` uses a fixed integer mixer rather than Python's
+``hash``.  Routing happens on the *plaintext* key, inside the trusted
+boundary: what reaches each shard's disks is still only the disguised
+key and the encrypted pointers, so the router leaks nothing the paper's
+model does not already concede.
+
+Two strategies:
+
+* :class:`HashRouter` -- a 64-bit avalanche mix (splitmix64 finaliser)
+  modulo the shard count.  Spreads any workload evenly, but a range
+  query must consult every shard.
+* :class:`RangeRouter` -- contiguous key sub-ranges per shard (the
+  partition-aware layout of the bitmap-join-index configuration work in
+  PAPERS.md).  Range queries touch only the shards whose sub-range
+  overlaps, which is where the cluster's range-query speedup comes from
+  (benchmark C8).
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+
+from repro.exceptions import StorageError
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """The splitmix64 finaliser: a fixed, process-independent mixer."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class ShardRouter(ABC):
+    """Deterministic assignment of search keys to shard indices."""
+
+    #: Human-readable strategy name (used in benchmark tables).
+    name: str = "abstract"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise StorageError(f"a cluster needs at least 1 shard, got {num_shards}")
+        self.num_shards = num_shards
+
+    @abstractmethod
+    def shard_for(self, key: int) -> int:
+        """The shard index ``key`` lives on (``0 <= index < num_shards``)."""
+
+    def shards_for_range(self, lo: int, hi: int) -> list[int]:
+        """Shards that may hold keys in ``[lo, hi]`` (default: all)."""
+        if lo > hi:
+            return []
+        return list(range(self.num_shards))
+
+    def partition(self, items, key=None) -> list[list]:
+        """Group ``items`` by shard, preserving each shard's arrival order.
+
+        ``key`` extracts the routing key from an item (identity by
+        default, so a plain key list routes as-is); ``bulk_load`` routes
+        ``(key, record)`` pairs and ``get_many`` routes
+        ``(position, key)`` pairs through the same loop.
+        """
+        groups: list[list] = [[] for _ in range(self.num_shards)]
+        for item in items:
+            routing_key = item if key is None else key(item)
+            groups[self.shard_for(routing_key)].append(item)
+        return groups
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} shards={self.num_shards}>"
+
+
+class HashRouter(ShardRouter):
+    """Uniform spreading via a fixed 64-bit mix; range queries fan out."""
+
+    name = "hash"
+
+    def shard_for(self, key: int) -> int:
+        return _splitmix64(key & _MASK64) % self.num_shards
+
+
+class RangeRouter(ShardRouter):
+    """Contiguous key sub-ranges per shard; range queries prune.
+
+    Parameters
+    ----------
+    boundaries:
+        Strictly increasing split points; shard ``i`` holds keys in
+        ``[boundaries[i-1], boundaries[i])`` (first shard unbounded
+        below, last unbounded above).  ``num_shards`` is
+        ``len(boundaries) + 1``.
+    """
+
+    name = "range"
+
+    def __init__(self, boundaries: list[int]) -> None:
+        if any(a >= b for a, b in zip(boundaries, boundaries[1:])):
+            raise StorageError(f"boundaries must strictly increase: {boundaries}")
+        super().__init__(len(boundaries) + 1)
+        self.boundaries = list(boundaries)
+
+    @classmethod
+    def uniform(cls, num_shards: int, key_universe: range) -> "RangeRouter":
+        """Equal-width sub-ranges over ``key_universe``.
+
+        The universe is the substitution scheme's
+        :meth:`~repro.substitution.base.KeySubstitution.key_universe`, so
+        a cluster can derive its default range layout from the disguise
+        it was built with.
+        """
+        if num_shards < 1:
+            raise StorageError(f"a cluster needs at least 1 shard, got {num_shards}")
+        span = len(key_universe)
+        if num_shards > 1 and span < num_shards:
+            raise StorageError(
+                f"universe of {span} keys cannot split into {num_shards} ranges"
+            )
+        width = span / num_shards
+        boundaries = [
+            key_universe.start + round(i * width) for i in range(1, num_shards)
+        ]
+        return cls(boundaries)
+
+    def shard_for(self, key: int) -> int:
+        return bisect.bisect_right(self.boundaries, key)
+
+    def shards_for_range(self, lo: int, hi: int) -> list[int]:
+        if lo > hi:
+            return []
+        return list(range(self.shard_for(lo), self.shard_for(hi) + 1))

@@ -1,0 +1,375 @@
+"""The sharded enciphered database: N private databases behind one API.
+
+Each shard is a complete :class:`~repro.core.database.EncipheredDatabase`
+-- its own node disk, record store, substitution instance and
+independently derived superblock/data keys -- so compromise of one
+shard's secrets opens exactly one shard, and block-frequency analysis
+(the A3/C5 attacker) cannot correlate blocks *across* shards: the same
+plaintext key would be disguised differently and enciphered under
+different keys on every shard.
+
+Routing happens on plaintext keys inside the trusted boundary (see
+:mod:`repro.cluster.router`).  Cross-shard operations -- ``range_search``
+fan-out, ``bulk_load`` partitioning, ``get_many`` batch reads -- run on a
+shard-count-bounded thread pool; per-shard reader--writer locks let
+parallel readers proceed while each shard serialises its writers.
+
+Key derivation
+--------------
+
+Per-shard secrets are derived from one base secret with the DES block
+cipher as a one-way-ish KDF: shard ``i``'s superblock key is
+``DES(base)(label || i)`` and its record-store key likewise under a
+second label.  Distinct labels and indices give pairwise-distinct shard
+keys (benchmark C8 verifies no block collisions across shards); the
+operator still stores only the base secrets plus each shard's
+substitution parameters.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack, contextmanager
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.cluster.router import HashRouter, RangeRouter, ShardRouter
+from repro.cluster.stats import ClusterStats
+from repro.core.database import EncipheredDatabase
+from repro.core.records import RecordStore
+from repro.crypto.base import IntegerCipher
+from repro.crypto.des import DES
+from repro.exceptions import BTreeError, DuplicateKeyError, StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.substitution.base import KeySubstitution
+
+# the single-database defaults, reused as the cluster's base secrets
+_DEFAULT_SUPER_KEY = b"\x5b\xad\xc0\xde\x5b\xad\xc0\xde"
+_DEFAULT_DATA_KEY = b"\x13\x34\x57\x79\x9b\xbc\xdf\xf1"
+
+_SUPER_LABEL = b"SUPR"
+_DATA_LABEL = b"DATA"
+
+
+def derive_shard_key(base_key: bytes, label: bytes, shard_index: int) -> bytes:
+    """Derive shard ``shard_index``'s 8-byte key from a base secret."""
+    block = label[:4].ljust(4, b"\x00") + shard_index.to_bytes(4, "big")
+    return DES(base_key).encrypt_block(block)
+
+
+def _resolve_router(
+    router: ShardRouter | str,
+    num_shards: int,
+    substitution: KeySubstitution,
+) -> ShardRouter:
+    """Accept a router instance or the strategy names ``hash``/``range``."""
+    if isinstance(router, ShardRouter):
+        if router.num_shards != num_shards:
+            raise StorageError(
+                f"router covers {router.num_shards} shards, cluster has {num_shards}"
+            )
+        return router
+    if router == "hash":
+        return HashRouter(num_shards)
+    if router == "range":
+        return RangeRouter.uniform(num_shards, substitution.key_universe())
+    raise StorageError(f"unknown routing strategy {router!r}")
+
+
+class ShardedEncipheredDatabase:
+    """Horizontal partitioning of :class:`EncipheredDatabase` over N shards.
+
+    Build with :meth:`create` (fresh disks) or :meth:`reopen` (from the
+    per-shard disks and secrets alone).  The factories receive the shard
+    index and must return *independent* instances -- in particular each
+    shard should get its own substitution secret (e.g. a different oval
+    multiplier), which is what makes cross-shard frequency analysis
+    strictly harder than against one database.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[EncipheredDatabase],
+        router: ShardRouter,
+        max_workers: int | None = None,
+    ) -> None:
+        if not shards:
+            raise StorageError("a cluster needs at least one shard")
+        if router.num_shards != len(shards):
+            raise StorageError(
+                f"router covers {router.num_shards} shards, got {len(shards)}"
+            )
+        self.shards = list(shards)
+        self.router = router
+        self._max_workers = max_workers or len(self.shards)
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._txn_thread: int | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        substitution_factory: Callable[[int], KeySubstitution],
+        pointer_cipher_factory: Callable[[int], IntegerCipher],
+        *,
+        num_shards: int = 4,
+        router: ShardRouter | str = "hash",
+        block_size: int = 512,
+        min_degree: int = 4,
+        super_key: bytes = _DEFAULT_SUPER_KEY,
+        data_key: bytes = _DEFAULT_DATA_KEY,
+        record_size: int = 120,
+        cache_blocks: int = 16,
+        write_back: bool = False,
+        autocommit: bool = True,
+        max_workers: int | None = None,
+    ) -> "ShardedEncipheredDatabase":
+        """Initialise ``num_shards`` fresh shards with derived secrets."""
+        substitutions = [substitution_factory(i) for i in range(num_shards)]
+        shards = [
+            EncipheredDatabase.create(
+                substitutions[i],
+                pointer_cipher_factory(i),
+                block_size=block_size,
+                min_degree=min_degree,
+                super_key=derive_shard_key(super_key, _SUPER_LABEL, i),
+                data_key=derive_shard_key(data_key, _DATA_LABEL, i),
+                record_size=record_size,
+                cache_blocks=cache_blocks,
+                write_back=write_back,
+                autocommit=autocommit,
+            )
+            for i in range(num_shards)
+        ]
+        resolved = _resolve_router(router, num_shards, substitutions[0])
+        return cls(shards, resolved, max_workers=max_workers)
+
+    @classmethod
+    def reopen(
+        cls,
+        substitution_factory: Callable[[int], KeySubstitution],
+        pointer_cipher_factory: Callable[[int], IntegerCipher],
+        parts: Sequence[tuple[SimulatedDisk, RecordStore]],
+        *,
+        router: ShardRouter | str = "hash",
+        super_key: bytes = _DEFAULT_SUPER_KEY,
+        cache_blocks: int = 16,
+        write_back: bool = False,
+        autocommit: bool = True,
+        max_workers: int | None = None,
+    ) -> "ShardedEncipheredDatabase":
+        """Rebuild a cluster from each shard's platters and the secrets.
+
+        ``parts`` is what :meth:`shard_parts` returned for the original
+        cluster (one ``(node disk, record store)`` pair per shard, in
+        shard order); every shard's superblock is authenticated under its
+        re-derived key on the way up.
+        """
+        substitutions = [substitution_factory(i) for i in range(len(parts))]
+        shards = [
+            EncipheredDatabase.reopen(
+                substitutions[i],
+                pointer_cipher_factory(i),
+                disk,
+                records,
+                super_key=derive_shard_key(super_key, _SUPER_LABEL, i),
+                cache_blocks=cache_blocks,
+                write_back=write_back,
+                autocommit=autocommit,
+            )
+            for i, (disk, records) in enumerate(parts)
+        ]
+        resolved = _resolve_router(router, len(parts), substitutions[0])
+        return cls(shards, resolved, max_workers=max_workers)
+
+    def shard_parts(self) -> list[tuple[SimulatedDisk, RecordStore]]:
+        """The durable state a later :meth:`reopen` needs, in shard order."""
+        return [(shard.disk, shard.records) for shard in self.shards]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    # -- the thread pool -------------------------------------------------
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-shard",
+                )
+            return self._executor
+
+    def close(self) -> None:
+        """Commit every shard and release the worker threads."""
+        self.commit()
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def __enter__(self) -> "ShardedEncipheredDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _fan_out(self, fn: Callable[[int], object], shard_ids: Sequence[int]) -> list:
+        """Run ``fn(shard_id)`` for every id, in parallel when it pays.
+
+        Inside this cluster's :meth:`transaction` the calling thread owns
+        every shard's *write* lock, which pool workers (different
+        threads) could never acquire the read side of -- so the fan-out
+        degrades to a serial loop on the calling thread instead of
+        deadlocking the pool.
+        """
+        if len(shard_ids) <= 1 or threading.get_ident() == self._txn_thread:
+            return [fn(i) for i in shard_ids]
+        return list(self._pool().map(fn, shard_ids))
+
+    # -- single-key operations (routed, no fan-out) ----------------------
+
+    def _shard(self, key: int) -> EncipheredDatabase:
+        return self.shards[self.router.shard_for(key)]
+
+    def insert(self, key: int, record: bytes) -> None:
+        self._shard(key).insert(key, record)
+
+    def search(self, key: int) -> bytes:
+        return self._shard(key).search(key)
+
+    def get(self, key: int, default: bytes | None = None) -> bytes | None:
+        return self._shard(key).get(key, default)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._shard(key)
+
+    def delete(self, key: int) -> None:
+        self._shard(key).delete(key)
+
+    # -- fanned-out operations -------------------------------------------
+
+    def range_search(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
+        """All ``(key, record)`` pairs with ``lo <= key <= hi``, ascending.
+
+        The router prunes the shard set (a :class:`RangeRouter` touches
+        only overlapping sub-ranges); the surviving shards are queried in
+        parallel and their sorted partial results merged.
+        """
+        shard_ids = self.router.shards_for_range(lo, hi)
+        partials = self._fan_out(
+            lambda i: self.shards[i].range_search(lo, hi), shard_ids
+        )
+        if len(partials) <= 1:
+            return partials[0] if partials else []
+        return sorted(
+            (pair for partial in partials for pair in partial),
+            key=lambda pair: pair[0],
+        )
+
+    def get_many(
+        self, keys: Sequence[int], default: bytes | None = None
+    ) -> list[bytes | None]:
+        """Batch point lookups, fanned out by shard; aligned with ``keys``."""
+        by_shard = self.router.partition(
+            list(enumerate(keys)), key=lambda pk: pk[1]
+        )
+        out: list[bytes | None] = [default] * len(keys)
+
+        def fetch(shard_id: int) -> list[tuple[int, bytes | None]]:
+            shard = self.shards[shard_id]
+            return [
+                (position, shard.get(key, default))
+                for position, key in by_shard[shard_id]
+            ]
+
+        touched = [i for i, group in enumerate(by_shard) if group]
+        for chunk in self._fan_out(fetch, touched):
+            for position, record in chunk:
+                out[position] = record
+        return out
+
+    def bulk_load(self, items: Iterable[tuple[int, bytes]]) -> None:
+        """Partition ``(key, record)`` pairs by shard and load in parallel.
+
+        Requires an empty cluster; duplicate keys are rejected before any
+        shard is touched (each shard's own loader re-validates its
+        slice).  A shard-level failure after that point leaves the other
+        shards loaded -- cross-shard atomicity is an open item, not a
+        promise.
+        """
+        if len(self):
+            raise BTreeError("bulk_load requires an empty cluster")
+        pairs = list(items)
+        seen = sorted(key for key, _ in pairs)
+        for left, right in zip(seen, seen[1:]):
+            if left == right:
+                raise DuplicateKeyError(right)
+        partitions = self.router.partition(pairs, key=lambda kv: kv[0])
+        loaded = [i for i, part in enumerate(partitions) if part]
+        self._fan_out(lambda i: self.shards[i].bulk_load(partitions[i]), loaded)
+
+    # -- transactions and durability -------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator["ShardedEncipheredDatabase"]:
+        """One transaction spanning every shard.
+
+        Shard transactions are entered in shard order (a fixed order, so
+        two concurrent cluster transactions cannot deadlock on each
+        other's write locks) and unwound together: a clean exit commits
+        every shard, an exception rolls every shard back.  Fan-out
+        operations called inside the scope run serially on this thread
+        (see :meth:`_fan_out`).
+        """
+        with ExitStack() as stack:
+            for shard in self.shards:
+                stack.enter_context(shard.transaction())
+            self._txn_thread = threading.get_ident()
+            try:
+                yield self
+            finally:
+                self._txn_thread = None
+
+    def commit(self) -> None:
+        """Make every shard's pending changes durable."""
+        for shard in self.shards:
+            shard.commit()
+
+    # -- whole-cluster queries -------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def items(self) -> Iterator[tuple[int, bytes]]:
+        """Every ``(key, record)`` pair in ascending key order.
+
+        A lazy k-way merge of the shards' sorted iterators; each shard's
+        read lock is held while its iterator is live.
+        """
+        yield from heapq.merge(
+            *(shard.items() for shard in self.shards), key=lambda pair: pair[0]
+        )
+
+    def stats(self) -> ClusterStats:
+        """Aggregated per-shard counter rollups (see :class:`ClusterStats`)."""
+        return ClusterStats(
+            router=self.router.name,
+            per_shard=[shard.stats() for shard in self.shards],
+        )
+
+    def check_invariants(self) -> None:
+        """Verify every shard's B-Tree invariants and router placement."""
+        for index, shard in enumerate(self.shards):
+            with shard.lock.read_locked():  # tree walks must not race writers
+                shard.tree.check_invariants()
+                for key, _ in shard.tree.items():
+                    if self.router.shard_for(key) != index:
+                        raise StorageError(
+                            f"key {key} found on shard {index}, routed to "
+                            f"{self.router.shard_for(key)}"
+                        )

@@ -1,0 +1,80 @@
+"""Aggregated statistics over every shard of a cluster.
+
+Each shard's :meth:`~repro.core.database.EncipheredDatabase.stats` dict
+nests one level per subsystem with numeric leaves; :class:`ClusterStats`
+keeps the per-shard dicts verbatim (benchmark C8 reports per-shard write
+amplification from them) and sums them leaf-wise into a cluster-level
+rollup.  Balance metrics summarise how evenly the router spread the
+keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def merge_counter_dicts(dicts: list[dict[str, object]]) -> dict[str, object]:
+    """Leaf-wise sum of same-shaped nested dicts of numbers."""
+    if not dicts:
+        return {}
+    merged: dict[str, object] = {}
+    for key, value in dicts[0].items():
+        if isinstance(value, dict):
+            merged[key] = merge_counter_dicts([d[key] for d in dicts])
+        else:
+            merged[key] = sum(d[key] for d in dicts)
+    return merged
+
+
+@dataclass
+class ClusterStats:
+    """Point-in-time statistics for a sharded database.
+
+    ``per_shard[i]`` is shard ``i``'s full counter rollup;
+    ``aggregate`` is their leaf-wise sum.
+    """
+
+    router: str
+    per_shard: list[dict[str, object]]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.per_shard)
+
+    @property
+    def aggregate(self) -> dict[str, object]:
+        return merge_counter_dicts(self.per_shard)
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        return [s["size"] for s in self.per_shard]
+
+    @property
+    def total_size(self) -> int:
+        return sum(self.shard_sizes)
+
+    @property
+    def imbalance(self) -> float:
+        """Largest shard over the mean shard size (1.0 = perfectly even)."""
+        sizes = self.shard_sizes
+        mean = sum(sizes) / len(sizes)
+        return max(sizes) / mean if mean else 0.0
+
+    def summary(self) -> str:
+        """One human-readable line per shard plus the rollup."""
+        lines = []
+        for i, s in enumerate(self.per_shard):
+            node, cipher = s["node_disk"], s["pointer_cipher"]
+            lines.append(
+                f"shard {i}: {s['size']} keys, "
+                f"{node['writes']} node writes, "
+                f"{cipher['encryptions']}E/{cipher['decryptions']}D pointer ops"
+            )
+        agg = self.aggregate
+        lines.append(
+            f"cluster ({self.router}, {self.num_shards} shards): "
+            f"{self.total_size} keys, "
+            f"{agg['node_disk']['writes']} node writes, "
+            f"imbalance {self.imbalance:.2f}"
+        )
+        return "\n".join(lines)

@@ -35,6 +35,20 @@ For ingest-style workloads the hot path can amortise that cost:
 Deferral always happens *below* the node codec: pointer-cipher and
 substitution counts are identical across modes, only disk-write counts
 change (benchmark C7 reports both).
+
+Concurrency
+-----------
+
+Every public operation runs under a per-database
+:class:`~repro.storage.rwlock.ReadWriteLock` (exposed as ``db.lock``):
+queries (``search``/``get``/``range_search``/``items``/``len``) share the
+read side, mutations and commits hold the write side exclusively, and a
+:meth:`transaction` scope holds the write side end to end.  Combined with
+the internally locked pager and disks, interleaved reader threads can
+never observe a torn superblock or a half-flushed node.  Operation
+*counters* (tree comparisons, substitution tallies) are deliberately left
+outside the locks: they are benchmarking instruments, exact only in
+single-threaded runs.
 """
 
 from __future__ import annotations
@@ -49,9 +63,10 @@ from repro.core.records import RecordStore
 from repro.crypto.base import CountingCipher, IntegerCipher
 from repro.crypto.des import DES
 from repro.crypto.modes import CBCCipher
-from repro.exceptions import CryptoError, IntegrityError, StorageError
+from repro.exceptions import CryptoError, IntegrityError, KeyNotFoundError, StorageError
 from repro.storage.disk import SimulatedDisk
 from repro.storage.pager import Pager
+from repro.storage.rwlock import ReadWriteLock
 from repro.substitution.base import KeySubstitution
 
 _MAGIC = b"HSBT1990"
@@ -91,6 +106,10 @@ class EncipheredDatabase:
         #: :meth:`commit`; when ``False`` the caller owns the commit
         #: points.  :meth:`transaction` toggles this per scope.
         self.autocommit = autocommit
+        #: Reader--writer lock guarding every public operation; exposed so
+        #: callers can pin a consistent multi-operation view (e.g. a
+        #: verifying reopen) to the read side.
+        self.lock = ReadWriteLock()
         self._in_txn = False
         self._txn_record_puts: list[int] = []
         self._txn_record_deletes: list[int] = []
@@ -195,14 +214,15 @@ class EncipheredDatabase:
         and flushes dirty node pages.  Inside a :meth:`transaction` this
         establishes a new rollback point.
         """
-        for record_id in self._txn_record_deletes:
-            self.records.delete(record_id)
-        self._txn_record_deletes = []
-        self._txn_record_puts = []
-        self._write_superblock()
-        self.tree.pager.flush()
-        if self._in_txn:
-            self._txn_snapshot = self.tree.snapshot_state()
+        with self.lock.write_locked():
+            for record_id in self._txn_record_deletes:
+                self.records.delete(record_id)
+            self._txn_record_deletes = []
+            self._txn_record_puts = []
+            self._write_superblock()
+            self.tree.pager.flush()
+            if self._in_txn:
+                self._txn_snapshot = self.tree.snapshot_state()
 
     def rollback(self) -> None:
         """Discard every change since the last commit point.
@@ -213,15 +233,19 @@ class EncipheredDatabase:
         slots filled since the commit point are freed and deferred frees
         are forgotten.
         """
-        if self._txn_snapshot is None:
-            raise StorageError("rollback outside a transaction")
-        self.tree.pager.discard_dirty()
-        self.tree.restore_state(self._txn_snapshot)
-        for record_id in self._txn_record_puts:
-            self.records.delete(record_id)
-        self._txn_record_puts = []
-        self._txn_record_deletes = []
-        self._txn_snapshot = self.tree.snapshot_state()
+        with self.lock.write_locked():
+            # checked under the lock: a foreign thread reaching here after
+            # the owning transaction ended must get the error, not a
+            # rollback against a stale (or None) snapshot
+            if self._txn_snapshot is None:
+                raise StorageError("rollback outside a transaction")
+            self.tree.pager.discard_dirty()
+            self.tree.restore_state(self._txn_snapshot)
+            for record_id in self._txn_record_puts:
+                self.records.delete(record_id)
+            self._txn_record_puts = []
+            self._txn_record_deletes = []
+            self._txn_snapshot = self.tree.snapshot_state()
 
     @contextmanager
     def transaction(self) -> Iterator["EncipheredDatabase"]:
@@ -236,33 +260,38 @@ class EncipheredDatabase:
         Blocks allocated by the scope and then rolled back are leaked on
         the simulated disk (never referenced again) -- space, not
         correctness.  Transactions do not nest.
+
+        The write lock is held for the whole scope: a transaction is one
+        logical write, so readers wait for its commit (or rollback) and
+        can never see its intermediate states.
         """
-        if self._in_txn:
-            raise StorageError("transactions do not nest")
-        pager = self.tree.pager
-        # pre-transaction dirt must reach the disk first: rollback
-        # discards every dirty page, and pages written before this scope
-        # are not ours to throw away
-        pager.flush()
-        saved_mode = (pager.write_back, pager.retain_dirty)
-        pager.write_back = True
-        pager.retain_dirty = True
-        self._in_txn = True
-        self._txn_snapshot = self.tree.snapshot_state()
-        self._txn_record_puts = []
-        self._txn_record_deletes = []
-        try:
-            yield self
-        except BaseException:
-            self.rollback()
-            raise
-        else:
-            self.commit()
-        finally:
-            self._in_txn = False
-            self._txn_snapshot = None
-            pager.write_back, pager.retain_dirty = saved_mode
-            pager.flush()  # restoring write-through must not strand dirt
+        with self.lock.write_locked():
+            if self._in_txn:
+                raise StorageError("transactions do not nest")
+            pager = self.tree.pager
+            # pre-transaction dirt must reach the disk first: rollback
+            # discards every dirty page, and pages written before this scope
+            # are not ours to throw away
+            pager.flush()
+            saved_mode = (pager.write_back, pager.retain_dirty)
+            pager.write_back = True
+            pager.retain_dirty = True
+            self._in_txn = True
+            self._txn_snapshot = self.tree.snapshot_state()
+            self._txn_record_puts = []
+            self._txn_record_deletes = []
+            try:
+                yield self
+            except BaseException:
+                self.rollback()
+                raise
+            else:
+                self.commit()
+            finally:
+                self._in_txn = False
+                self._txn_snapshot = None
+                pager.write_back, pager.retain_dirty = saved_mode
+                pager.flush()  # restoring write-through must not strand dirt
 
     def _after_mutation(self) -> None:
         if self.autocommit and not self._in_txn:
@@ -271,33 +300,49 @@ class EncipheredDatabase:
     # -- record operations (superblock kept current) -----------------------
 
     def insert(self, key: int, record: bytes) -> None:
-        record_id = self.records.put(record)
-        try:
-            self.tree.insert(key, record_id)
-        except Exception:
-            self.records.delete(record_id)
-            raise
-        if self._in_txn:
-            self._txn_record_puts.append(record_id)
-        self._after_mutation()
+        with self.lock.write_locked():
+            record_id = self.records.put(record)
+            try:
+                self.tree.insert(key, record_id)
+            except Exception:
+                self.records.delete(record_id)
+                raise
+            if self._in_txn:
+                self._txn_record_puts.append(record_id)
+            self._after_mutation()
 
     def search(self, key: int) -> bytes:
-        return self.records.get(self.tree.search(key))
+        with self.lock.read_locked():
+            return self.records.get(self.tree.search(key))
+
+    def get(self, key: int, default: bytes | None = None) -> bytes | None:
+        """Like :meth:`search`, but returns ``default`` for absent keys."""
+        with self.lock.read_locked():
+            try:
+                record_id = self.tree.search(key)
+            except KeyNotFoundError:
+                return default
+            return self.records.get(record_id)
+
+    def __contains__(self, key: int) -> bool:
+        with self.lock.read_locked():
+            return self.tree.contains(key)
 
     def delete(self, key: int) -> None:
-        record_id = self.tree.search(key)
-        self.tree.delete(key)
-        if self._in_txn:
-            # defer the slot free: rollback must still find the bytes
-            self._txn_record_deletes.append(record_id)
-            return
-        try:
-            self.records.delete(record_id)
-        finally:
-            # the index changed even if the slot free failed: the
-            # superblock must reflect the tree or reopen() rejects the
-            # database (the slot merely leaks until a later reuse)
-            self._after_mutation()
+        with self.lock.write_locked():
+            record_id = self.tree.search(key)
+            self.tree.delete(key)
+            if self._in_txn:
+                # defer the slot free: rollback must still find the bytes
+                self._txn_record_deletes.append(record_id)
+                return
+            try:
+                self.records.delete(record_id)
+            finally:
+                # the index changed even if the slot free failed: the
+                # superblock must reflect the tree or reopen() rejects the
+                # database (the slot merely leaks until a later reuse)
+                self._after_mutation()
 
     def bulk_load(self, items: Iterable[tuple[int, bytes]]) -> None:
         """Ingest ``(key, record)`` pairs via the bottom-up tree build.
@@ -307,24 +352,87 @@ class EncipheredDatabase:
         requires an empty database.  On failure the stored records are
         freed again and the empty database stays usable.
         """
-        pairs: list[tuple[int, int]] = []
-        try:
-            for key, record in items:
-                pairs.append((key, self.records.put(record)))
-            self.tree.bulk_load(pairs)
-        except Exception:
-            for _, record_id in pairs:
-                self.records.delete(record_id)
-            raise
-        if self._in_txn:
-            self._txn_record_puts.extend(record_id for _, record_id in pairs)
-        self._after_mutation()
+        with self.lock.write_locked():
+            pairs: list[tuple[int, int]] = []
+            try:
+                for key, record in items:
+                    pairs.append((key, self.records.put(record)))
+                self.tree.bulk_load(pairs)
+            except Exception:
+                for _, record_id in pairs:
+                    self.records.delete(record_id)
+                raise
+            if self._in_txn:
+                self._txn_record_puts.extend(record_id for _, record_id in pairs)
+            self._after_mutation()
 
     def range_search(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
-        return [
-            (key, self.records.get(record_id))
-            for key, record_id in self.tree.range_search(lo, hi)
-        ]
+        with self.lock.read_locked():
+            return [
+                (key, self.records.get(record_id))
+                for key, record_id in self.tree.range_search(lo, hi)
+            ]
+
+    def items(self) -> Iterator[tuple[int, bytes]]:
+        """Every ``(key, record)`` pair in ascending key order.
+
+        Delegates to :meth:`BTree.items`; the read lock is held while the
+        iterator is live, so consume it promptly in concurrent settings.
+        """
+        with self.lock.read_locked():
+            for key, record_id in self.tree.items():
+                yield key, self.records.get(record_id)
 
     def __len__(self) -> int:
-        return self.tree.size
+        with self.lock.read_locked():
+            return self.tree.size
+
+    def stats(self) -> dict[str, object]:
+        """Point-in-time rollup of every counter the database owns.
+
+        One nesting level per subsystem; all leaves are numbers, so the
+        cluster layer (and benchmark reporters) can aggregate dicts from
+        many databases by summing leaf-wise.
+        """
+        with self.lock.read_locked():
+            disk, rdisk = self.disk.stats, self.records.disk.stats
+            pager = self.tree.pager.stats
+            return {
+                "size": self.tree.size,
+                "node_disk": {
+                    "reads": disk.reads,
+                    "writes": disk.writes,
+                    "overwrites": disk.overwrites,
+                    "bytes_read": disk.bytes_read,
+                    "bytes_written": disk.bytes_written,
+                },
+                "record_disk": {
+                    "reads": rdisk.reads,
+                    "writes": rdisk.writes,
+                    "overwrites": rdisk.overwrites,
+                    "bytes_read": rdisk.bytes_read,
+                    "bytes_written": rdisk.bytes_written,
+                },
+                "pager": {
+                    "hits": pager.hits,
+                    "misses": pager.misses,
+                    "write_requests": pager.write_requests,
+                    "disk_writes": pager.disk_writes,
+                    "dirty_evictions": pager.dirty_evictions,
+                },
+                "pointer_cipher": {
+                    "encryptions": self.pointer_cipher.counts.encryptions,
+                    "decryptions": self.pointer_cipher.counts.decryptions,
+                },
+                "substitution": {
+                    "substitutions": self.substitution.counters.substitutions,
+                    "inversions": self.substitution.counters.inversions,
+                },
+                "tree": {
+                    "comparisons": self.tree.counters.comparisons,
+                    "nodes_visited": self.tree.counters.nodes_visited,
+                    "splits": self.tree.counters.splits,
+                    "merges": self.tree.counters.merges,
+                    "borrows": self.tree.counters.borrows,
+                },
+            }

@@ -12,18 +12,23 @@ physical disk.  This package simulates that boundary:
   *raw* (still-enciphered) blocks, so cryptographic costs stay faithful
   while disk traffic is still realistic;
 * :mod:`repro.storage.layout` -- triplet/node sizing arithmetic used by
-  the storage-overhead experiment (C2).
+  the storage-overhead experiment (C2);
+* :mod:`repro.storage.rwlock` -- the reader--writer lock the concurrent
+  database layer (and the sharded cluster on top of it) serialises
+  writers with.
 """
 
 from repro.storage.disk import BlockTransform, DiskStats, SimulatedDisk
 from repro.storage.layout import NodeLayout, TripletLayout
 from repro.storage.pager import Pager
+from repro.storage.rwlock import ReadWriteLock
 
 __all__ = [
     "BlockTransform",
     "DiskStats",
     "NodeLayout",
     "Pager",
+    "ReadWriteLock",
     "SimulatedDisk",
     "TripletLayout",
 ]

@@ -14,6 +14,7 @@ shape-reconstruction analysis (experiment C5).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -87,6 +88,12 @@ class SimulatedDisk:
         Optional encipherment module applied at the I/O boundary.  When a
         transform expands data (padding), the *expanded* form must fit the
         block, exactly as it would on hardware.
+
+    The device is thread-safe: the block array and the statistics are
+    guarded by an internal mutex, so concurrent readers admitted by the
+    database's reader--writer lock cannot tear either.  The transform runs
+    *outside* the mutex -- cryptography is the expensive part, and a
+    hardware module enciphers streams independently of platter arbitration.
     """
 
     def __init__(self, block_size: int = 4096, transform: BlockTransform | None = None) -> None:
@@ -96,13 +103,15 @@ class SimulatedDisk:
         self.transform = transform
         self.stats = DiskStats()
         self._blocks: list[bytes | None] = []
+        self._lock = threading.Lock()
 
     # -- allocation ----------------------------------------------------------
 
     def allocate(self) -> int:
         """Reserve a fresh block and return its id."""
-        self._blocks.append(None)
-        return len(self._blocks) - 1
+        with self._lock:
+            self._blocks.append(None)
+            return len(self._blocks) - 1
 
     @property
     def num_blocks(self) -> int:
@@ -127,20 +136,24 @@ class SimulatedDisk:
                 f"payload of {len(stored)} bytes overflows {self.block_size}-byte block",
                 block_id=block_id,
             )
-        if self._blocks[block_id] is not None:
-            self.stats.overwrites += 1
-        self._blocks[block_id] = stored
-        self.stats.writes += 1
-        self.stats.bytes_written += len(stored)
+        with self._lock:
+            if self._blocks[block_id] is not None:
+                self.stats.overwrites += 1
+            self._blocks[block_id] = stored
+            self.stats.writes += 1
+            self.stats.bytes_written += len(stored)
 
     def read_block(self, block_id: int) -> bytes:
         """Read a block; the transform is inverted after the platter."""
         self._check_id(block_id)
-        stored = self._blocks[block_id]
-        if stored is None:
-            raise BlockBoundsError(f"block {block_id} was never written", block_id=block_id)
-        self.stats.reads += 1
-        self.stats.bytes_read += len(stored)
+        with self._lock:
+            stored = self._blocks[block_id]
+            if stored is None:
+                raise BlockBoundsError(
+                    f"block {block_id} was never written", block_id=block_id
+                )
+            self.stats.reads += 1
+            self.stats.bytes_read += len(stored)
         return self.transform.on_read(block_id, stored) if self.transform else stored
 
     # -- the attacker's view ---------------------------------------------
@@ -152,15 +165,17 @@ class SimulatedDisk:
         announce their reads.
         """
         self._check_id(block_id)
-        stored = self._blocks[block_id]
+        with self._lock:
+            stored = self._blocks[block_id]
         if stored is None:
             raise BlockBoundsError(f"block {block_id} was never written", block_id=block_id)
         return stored
 
     def raw_blocks(self) -> list[tuple[int, bytes]]:
         """Every written block, in platter order -- the full dump."""
-        return [
-            (block_id, data)
-            for block_id, data in enumerate(self._blocks)
-            if data is not None
-        ]
+        with self._lock:
+            return [
+                (block_id, data)
+                for block_id, data in enumerate(self._blocks)
+                if data is not None
+            ]

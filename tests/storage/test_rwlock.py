@@ -1,0 +1,198 @@
+"""The reader--writer lock under the concurrent database layer."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.rwlock import ReadWriteLock
+
+
+@pytest.fixture
+def lock():
+    return ReadWriteLock()
+
+
+def run_thread(fn):
+    t = threading.Thread(target=fn)
+    t.start()
+    return t
+
+
+class TestSingleThread:
+    def test_read_reentrant(self, lock):
+        with lock.read_locked():
+            with lock.read_locked():
+                assert lock.held_by_current_thread()
+                assert lock.active_readers == 1
+        assert not lock.held_by_current_thread()
+        assert lock.active_readers == 0
+
+    def test_write_reentrant(self, lock):
+        with lock.write_locked():
+            with lock.write_locked():
+                assert lock.write_held
+            assert lock.write_held
+        assert not lock.write_held
+
+    def test_writer_may_read(self, lock):
+        # insert (write) ends in commit, transactions run queries: the
+        # writing thread must pass freely through read sections
+        with lock.write_locked():
+            with lock.read_locked():
+                assert lock.write_held
+            assert lock.write_held
+        assert not lock.write_held
+
+    def test_upgrade_rejected(self, lock):
+        with lock.read_locked():
+            with pytest.raises(StorageError):
+                lock.acquire_write()
+        # the failed upgrade must not wedge the lock
+        with lock.write_locked():
+            pass
+
+    def test_unbalanced_releases_rejected(self, lock):
+        with pytest.raises(StorageError):
+            lock.release_read()
+        with pytest.raises(StorageError):
+            lock.release_write()
+
+
+class TestTwoThreads:
+    def test_readers_share(self, lock):
+        inside = threading.Event()
+        release = threading.Event()
+
+        def reader():
+            with lock.read_locked():
+                inside.set()
+                release.wait(timeout=5)
+
+        t = run_thread(reader)
+        assert inside.wait(timeout=5)
+        # a second reader enters while the first still holds the lock
+        acquired = []
+
+        def second():
+            with lock.read_locked():
+                acquired.append(True)
+
+        t2 = run_thread(second)
+        t2.join(timeout=5)
+        assert acquired == [True]
+        release.set()
+        t.join(timeout=5)
+
+    def test_writer_excludes_readers(self, lock):
+        in_write = threading.Event()
+        release = threading.Event()
+        order = []
+
+        def writer():
+            with lock.write_locked():
+                in_write.set()
+                release.wait(timeout=5)
+                order.append("writer-done")
+
+        def reader():
+            with lock.read_locked():
+                order.append("reader")
+
+        tw = run_thread(writer)
+        assert in_write.wait(timeout=5)
+        tr = run_thread(reader)
+        time.sleep(0.05)  # give the reader a chance to (wrongly) slip in
+        release.set()
+        tw.join(timeout=5)
+        tr.join(timeout=5)
+        assert order == ["writer-done", "reader"]
+
+    def test_waiting_writer_blocks_new_readers(self, lock):
+        """Writer preference: a queued writer beats readers that arrive
+        after it, so a stream of readers cannot starve the writer."""
+        first_reader_in = threading.Event()
+        release_first = threading.Event()
+        order = []
+
+        def first_reader():
+            with lock.read_locked():
+                first_reader_in.set()
+                release_first.wait(timeout=5)
+
+        def writer():
+            with lock.write_locked():
+                order.append("writer")
+
+        def late_reader():
+            with lock.read_locked():
+                order.append("late-reader")
+
+        t1 = run_thread(first_reader)
+        assert first_reader_in.wait(timeout=5)
+        tw = run_thread(writer)
+        time.sleep(0.05)  # let the writer queue up
+        tl = run_thread(late_reader)
+        time.sleep(0.05)
+        assert order == []  # both blocked behind the first reader
+        release_first.set()
+        for t in (t1, tw, tl):
+            t.join(timeout=5)
+        assert order[0] == "writer"
+
+    def test_held_reader_may_reenter_past_waiting_writer(self, lock):
+        """Reentrant reads must not deadlock against a queued writer."""
+        reader_in = threading.Event()
+        proceed = threading.Event()
+        result = []
+
+        def reader():
+            with lock.read_locked():
+                reader_in.set()
+                proceed.wait(timeout=5)
+                with lock.read_locked():  # writer is waiting by now
+                    result.append("nested-read")
+
+        def writer():
+            with lock.write_locked():
+                result.append("writer")
+
+        tr = run_thread(reader)
+        assert reader_in.wait(timeout=5)
+        tw = run_thread(writer)
+        time.sleep(0.05)
+        proceed.set()
+        tr.join(timeout=5)
+        tw.join(timeout=5)
+        assert result == ["nested-read", "writer"]
+
+
+class TestStress:
+    def test_counter_integrity_under_contention(self, lock):
+        """Racing increments stay exact when guarded by the write side."""
+        state = {"value": 0}
+        observed_torn = []
+
+        def writer():
+            for _ in range(200):
+                with lock.write_locked():
+                    v = state["value"]
+                    # force an interleaving window inside the critical section
+                    time.sleep(0)
+                    state["value"] = v + 1
+
+        def reader():
+            for _ in range(400):
+                with lock.read_locked():
+                    if state["value"] < 0:
+                        observed_torn.append(state["value"])
+
+        threads = [run_thread(writer) for _ in range(3)]
+        threads += [run_thread(reader) for _ in range(3)]
+        for t in threads:
+            t.join(timeout=30)
+        assert state["value"] == 600
+        assert not observed_torn
