@@ -127,7 +127,17 @@ class PlainNodeView:
         return self._node.children[i]
 
     def to_node(self) -> Node:
-        return self._node
+        # A fresh copy: callers mutate the materialised node in place,
+        # and a view may be shared through the pager's decoded cache --
+        # aliasing the backing node would let an aborted mutation leak
+        # into cached plaintext.
+        return Node(
+            node_id=self._node.node_id,
+            is_leaf=self._node.is_leaf,
+            keys=list(self._node.keys),
+            values=list(self._node.values),
+            children=list(self._node.children),
+        )
 
 
 class PlainNodeCodec:

@@ -12,8 +12,13 @@ says it is paid:
 * *mutation* (leaf updates, splits, merges) materialises whole nodes via
   ``to_node`` and re-encodes them via ``encode``.
 
-The tree never caches plaintext nodes across operations -- the paper's
-model charges every node visit its decryption cost.
+The tree itself never caches plaintext nodes across operations -- the
+paper's model charges every node visit its decryption cost.  Node reads
+go through :meth:`~repro.storage.pager.Pager.read_decoded`, whose
+decoded-page cache is *disabled by default*: only when a deployment
+opts in (``decoded_cache_blocks > 0``) do repeat visits to a hot node
+skip the codec, and every node write invalidates that block's decoded
+entry first.
 """
 
 from __future__ import annotations
@@ -23,26 +28,20 @@ from typing import Iterator
 
 from repro.btree.codec import NodeCodec, NodeView
 from repro.btree.node import Node
+from repro.counters import ThreadSafeCounters
 from repro.exceptions import BTreeError, DuplicateKeyError, KeyNotFoundError
 from repro.storage.pager import Pager
 
 
-@dataclass
-class TreeCounters:
-    """Structural operation counts (cryptographic counts live in codecs)."""
+class TreeCounters(ThreadSafeCounters):
+    """Structural operation counts (cryptographic counts live in codecs).
 
-    comparisons: int = 0
-    nodes_visited: int = 0
-    splits: int = 0
-    merges: int = 0
-    borrows: int = 0
+    Thread-safe (per-thread accumulation, merged reads): concurrent
+    readers descend the tree in parallel, and lost increments would
+    under-report traversal work.
+    """
 
-    def reset(self) -> None:
-        self.comparisons = 0
-        self.nodes_visited = 0
-        self.splits = 0
-        self.merges = 0
-        self.borrows = 0
+    _FIELDS = ("comparisons", "nodes_visited", "splits", "merges", "borrows")
 
 
 @dataclass
@@ -110,8 +109,8 @@ class BTree:
         self.pager.invalidate(node_id)
 
     def _view(self, node_id: int) -> NodeView:
-        self.counters.nodes_visited += 1
-        return self.codec.decode(node_id, self.pager.read(node_id))
+        self.counters.bump("nodes_visited")
+        return self.pager.read_decoded(node_id, self.codec.decode)
 
     def _node(self, node_id: int) -> Node:
         return self._view(node_id).to_node()
@@ -131,7 +130,7 @@ class BTree:
         lo, hi = 0, view.num_keys
         while lo < hi:
             mid = (lo + hi) // 2
-            self.counters.comparisons += 1
+            self.counters.bump("comparisons")
             if view.key_at(mid) < key:
                 lo = mid + 1
             else:
@@ -148,7 +147,7 @@ class BTree:
             view = self._view(node_id)
             idx = self._lower_bound(view, key)
             if idx < view.num_keys:
-                self.counters.comparisons += 1
+                self.counters.bump("comparisons")
                 if view.key_at(idx) == key:
                     return view.value_at(idx)
             if view.is_leaf:
@@ -185,7 +184,7 @@ class BTree:
                 self._range_into(view.child_at(i), lo, hi, out)
             if i < view.num_keys:
                 key = view.key_at(i)
-                self.counters.comparisons += 1
+                self.counters.bump("comparisons")
                 if key <= hi:
                     out.append((key, view.value_at(i)))
                     i += 1
@@ -204,6 +203,24 @@ class BTree:
             yield (view.key_at(i), view.value_at(i))
         if not view.is_leaf:
             yield from self._items_of(view.child_at(view.num_keys))
+
+    def min_key(self) -> int | None:
+        """The smallest key, via the leftmost edge walk (O(height))."""
+        return self._edge_key(leftmost=True)
+
+    def max_key(self) -> int | None:
+        """The largest key, via the rightmost edge walk (O(height))."""
+        return self._edge_key(leftmost=False)
+
+    def _edge_key(self, leftmost: bool) -> int | None:
+        node_id = self.root_id
+        while True:
+            view = self._view(node_id)
+            if view.num_keys == 0:
+                return None  # only a root can be empty
+            if view.is_leaf:
+                return view.key_at(0 if leftmost else view.num_keys - 1)
+            node_id = view.child_at(0 if leftmost else view.num_keys)
 
     # -- state snapshots (transaction support) ---------------------------
 
@@ -329,7 +346,7 @@ class BTree:
             view = self._view(node_id)
             idx = self._lower_bound(view, key)
             if idx < view.num_keys:
-                self.counters.comparisons += 1
+                self.counters.bump("comparisons")
                 if view.key_at(idx) == key:
                     raise DuplicateKeyError(key)
             if view.is_leaf:
@@ -370,7 +387,7 @@ class BTree:
         parent.keys.insert(idx, median_key)
         parent.values.insert(idx, median_value)
         parent.children.insert(idx + 1, sibling.node_id)
-        self.counters.splits += 1
+        self.counters.bump("splits")
         self._write(child)
         self._write(sibling)
         self._write(parent)
@@ -406,7 +423,7 @@ class BTree:
     def _find_index(self, node: Node, key: int) -> int:
         import bisect
 
-        self.counters.comparisons += max(1, node.num_keys.bit_length())
+        self.counters.bump("comparisons", max(1, node.num_keys.bit_length()))
         return bisect.bisect_left(node.keys, key)
 
     def _delete_internal(self, node: Node, idx: int, key: int) -> None:
@@ -456,7 +473,7 @@ class BTree:
         left.values.extend(right.values)
         left.children.extend(right.children)
         parent.children.pop(idx + 1)
-        self.counters.merges += 1
+        self.counters.bump("merges")
         self._write(left)
         self._write(parent)
         self._release(right.node_id)
@@ -480,7 +497,7 @@ class BTree:
             node.values[idx - 1] = left_sibling.values.pop()
             if not child.is_leaf:
                 child.children.insert(0, left_sibling.children.pop())
-            self.counters.borrows += 1
+            self.counters.bump("borrows")
             self._write(left_sibling)
             self._write(child)
             self._write(node)
@@ -496,7 +513,7 @@ class BTree:
             node.values[idx] = right_sibling.values.pop(0)
             if not child.is_leaf:
                 child.children.append(right_sibling.children.pop(0))
-            self.counters.borrows += 1
+            self.counters.bump("borrows")
             self._write(right_sibling)
             self._write(child)
             self._write(node)

@@ -44,6 +44,12 @@ class ShardRouter(ABC):
     #: Human-readable strategy name (used in benchmark tables).
     name: str = "abstract"
 
+    #: True iff :meth:`shard_for` is monotone non-decreasing in the key,
+    #: i.e. each shard owns one contiguous key interval.  Lets placement
+    #: validation check only each shard's min and max key instead of a
+    #: full scan.
+    monotonic: bool = False
+
     def __init__(self, num_shards: int) -> None:
         if num_shards < 1:
             raise StorageError(f"a cluster needs at least 1 shard, got {num_shards}")
@@ -99,6 +105,7 @@ class RangeRouter(ShardRouter):
     """
 
     name = "range"
+    monotonic = True
 
     def __init__(self, boundaries: list[int]) -> None:
         if any(a >= b for a, b in zip(boundaries, boundaries[1:])):

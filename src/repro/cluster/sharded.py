@@ -126,8 +126,17 @@ class ShardedEncipheredDatabase:
         write_back: bool = False,
         autocommit: bool = True,
         max_workers: int | None = None,
+        record_cache_blocks: int = 0,
+        decoded_node_cache_blocks: int = 0,
     ) -> "ShardedEncipheredDatabase":
-        """Initialise ``num_shards`` fresh shards with derived secrets."""
+        """Initialise ``num_shards`` fresh shards with derived secrets.
+
+        ``record_cache_blocks``/``decoded_node_cache_blocks`` size each
+        shard's *private* plaintext read caches (defaults off).  Private
+        caches give the thread-pool fan-out per-shard cache locality:
+        each worker warms and hits only the shard it is scanning, with
+        no cross-shard invalidation traffic and no shared-cache lock.
+        """
         substitutions = [substitution_factory(i) for i in range(num_shards)]
         shards = [
             EncipheredDatabase.create(
@@ -141,6 +150,8 @@ class ShardedEncipheredDatabase:
                 cache_blocks=cache_blocks,
                 write_back=write_back,
                 autocommit=autocommit,
+                record_cache_blocks=record_cache_blocks,
+                decoded_node_cache_blocks=decoded_node_cache_blocks,
             )
             for i in range(num_shards)
         ]
@@ -160,13 +171,29 @@ class ShardedEncipheredDatabase:
         write_back: bool = False,
         autocommit: bool = True,
         max_workers: int | None = None,
+        record_cache_blocks: int | None = None,
+        decoded_node_cache_blocks: int = 0,
+        validate_routing: bool = True,
     ) -> "ShardedEncipheredDatabase":
         """Rebuild a cluster from each shard's platters and the secrets.
 
         ``parts`` is what :meth:`shard_parts` returned for the original
         cluster (one ``(node disk, record store)`` pair per shard, in
         shard order); every shard's superblock is authenticated under its
-        re-derived key on the way up.
+        re-derived key on the way up, and every cache starts cold.  As
+        with :meth:`EncipheredDatabase.reopen`, each record store keeps
+        its configured cache capacity unless ``record_cache_blocks``
+        overrides it (``None`` keeps, ``0`` forces off), while the
+        rebuilt pagers take ``decoded_node_cache_blocks`` directly.
+
+        Unless ``validate_routing=False``, the supplied ``router`` is
+        then checked against the actual key placement: every key on
+        every shard must route back to that shard.  A cluster reopened
+        with the wrong strategy, the wrong boundaries, or parts out of
+        order would otherwise *silently mis-route* -- point reads
+        missing keys that are on the platters, range routers skipping
+        populated shards -- so a mismatch fails fast with
+        :class:`~repro.exceptions.StorageError` instead.
         """
         substitutions = [substitution_factory(i) for i in range(len(parts))]
         shards = [
@@ -179,11 +206,48 @@ class ShardedEncipheredDatabase:
                 cache_blocks=cache_blocks,
                 write_back=write_back,
                 autocommit=autocommit,
+                record_cache_blocks=record_cache_blocks,
+                decoded_node_cache_blocks=decoded_node_cache_blocks,
             )
             for i, (disk, records) in enumerate(parts)
         ]
         resolved = _resolve_router(router, len(parts), substitutions[0])
+        if validate_routing:
+            cls._validate_routing(shards, resolved)
+            for shard in shards:
+                shard._make_cold()  # the validation walk must not pre-warm
         return cls(shards, resolved, max_workers=max_workers)
+
+    @staticmethod
+    def _validate_routing(
+        shards: Sequence[EncipheredDatabase], router: ShardRouter
+    ) -> None:
+        """Fail fast if ``router`` does not reproduce the key placement.
+
+        A monotonic router (contiguous per-shard key intervals) is
+        validated from each shard's min and max key alone -- two
+        O(height) edge walks; if both endpoints route home, so does
+        everything between them.  Non-monotonic routers (hash) need the
+        full key walk, which -- like the tree walk ``reopen`` already
+        performs to recover the key count -- bumps the read-side
+        operation counters; benchmarks reset counters after reopen.
+        """
+        for index, shard in enumerate(shards):
+            with shard.lock.read_locked():
+                if router.monotonic:
+                    endpoints = (shard.tree.min_key(), shard.tree.max_key())
+                    keys = (k for k in endpoints if k is not None)
+                else:
+                    keys = (key for key, _ in shard.tree.items())
+                for key in keys:
+                    routed = router.shard_for(key)
+                    if routed != index:
+                        raise StorageError(
+                            f"router mismatch: key {key} lives on shard "
+                            f"{index} but the supplied {router.name!r} router "
+                            f"sends it to shard {routed}; check the router "
+                            f"kind/boundaries and the order of shard parts"
+                        )
 
     def shard_parts(self) -> list[tuple[SimulatedDisk, RecordStore]]:
         """The durable state a later :meth:`reopen` needs, in shard order."""
@@ -340,6 +404,11 @@ class ShardedEncipheredDatabase:
         for shard in self.shards:
             shard.commit()
 
+    def clear_caches(self) -> None:
+        """Drop every shard's cached plaintext (cold-start support)."""
+        for shard in self.shards:
+            shard.clear_caches()
+
     # -- whole-cluster queries -------------------------------------------
 
     def __len__(self) -> int:
@@ -364,12 +433,7 @@ class ShardedEncipheredDatabase:
 
     def check_invariants(self) -> None:
         """Verify every shard's B-Tree invariants and router placement."""
-        for index, shard in enumerate(self.shards):
+        for shard in self.shards:
             with shard.lock.read_locked():  # tree walks must not race writers
                 shard.tree.check_invariants()
-                for key, _ in shard.tree.items():
-                    if self.router.shard_for(key) != index:
-                        raise StorageError(
-                            f"key {key} found on shard {index}, routed to "
-                            f"{self.router.shard_for(key)}"
-                        )
+        self._validate_routing(self.shards, self.router)

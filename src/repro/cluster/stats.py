@@ -11,6 +11,7 @@ keys.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 
 def merge_counter_dicts(dicts: list[dict[str, object]]) -> dict[str, object]:
@@ -41,8 +42,10 @@ class ClusterStats:
     def num_shards(self) -> int:
         return len(self.per_shard)
 
-    @property
+    @cached_property
     def aggregate(self) -> dict[str, object]:
+        # cached: a ClusterStats is a point-in-time snapshot, and several
+        # properties (cache rollups, hit rates) derive from one merge
         return merge_counter_dicts(self.per_shard)
 
     @property
@@ -60,21 +63,51 @@ class ClusterStats:
         mean = sum(sizes) / len(sizes)
         return max(sizes) / mean if mean else 0.0
 
+    # -- read-path cache rollups -----------------------------------------
+
+    @staticmethod
+    def _hit_rate(counters: dict[str, object]) -> float:
+        accesses = counters["hits"] + counters["misses"]
+        return counters["hits"] / accesses if accesses else 0.0
+
+    @property
+    def record_cache(self) -> dict[str, object]:
+        """Cluster-wide plaintext record-block cache counters."""
+        return self.aggregate["record_cache"]
+
+    @property
+    def node_decoded_cache(self) -> dict[str, object]:
+        """Cluster-wide decoded node-view cache counters."""
+        return self.aggregate["node_decoded_cache"]
+
+    @property
+    def record_cache_hit_rate(self) -> float:
+        return self._hit_rate(self.record_cache)
+
+    @property
+    def node_decoded_cache_hit_rate(self) -> float:
+        return self._hit_rate(self.node_decoded_cache)
+
     def summary(self) -> str:
         """One human-readable line per shard plus the rollup."""
         lines = []
         for i, s in enumerate(self.per_shard):
             node, cipher = s["node_disk"], s["pointer_cipher"]
+            rcache = s["record_cache"]
             lines.append(
                 f"shard {i}: {s['size']} keys, "
                 f"{node['writes']} node writes, "
-                f"{cipher['encryptions']}E/{cipher['decryptions']}D pointer ops"
+                f"{cipher['encryptions']}E/{cipher['decryptions']}D pointer ops, "
+                f"record cache {self._hit_rate(rcache):.0%} "
+                f"({rcache['hits']}/{rcache['hits'] + rcache['misses']})"
             )
-        agg = self.aggregate
+        agg = self.aggregate  # one leaf-wise merge serves every line below
         lines.append(
             f"cluster ({self.router}, {self.num_shards} shards): "
             f"{self.total_size} keys, "
             f"{agg['node_disk']['writes']} node writes, "
-            f"imbalance {self.imbalance:.2f}"
+            f"imbalance {self.imbalance:.2f}, "
+            f"record cache {self._hit_rate(agg['record_cache']):.0%}, "
+            f"decoded-node cache {self._hit_rate(agg['node_decoded_cache']):.0%}"
         )
         return "\n".join(lines)

@@ -17,7 +17,6 @@ the cost of the fields the traversal touches:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.btree.codec import (
     HEADER_BYTES,
@@ -28,6 +27,7 @@ from repro.btree.codec import (
 )
 from repro.btree.node import Node
 from repro.core.packing import PointerPacking
+from repro.counters import ThreadSafeCounters
 from repro.crypto.base import CryptoOpCounts, IntegerCipher
 from repro.crypto.des import DES
 from repro.crypto.pagekey import PageKeyScheme
@@ -136,6 +136,11 @@ class SubstitutedNodeView:
     Key access performs a disguise inversion (cheap arithmetic, counted by
     the substitution's counters); pointer access decrypts the relevant
     cryptogram once and caches it for the lifetime of the view.
+
+    Views are immutable readers over immutable bytes, so one view may be
+    shared across reader threads (the pager's decoded cache does this):
+    racing accesses to a lazily-cached field may compute it twice, but
+    both computations yield identical values, so either fill is correct.
     """
 
     def __init__(self, codec: SubstitutedNodeCodec, node_id: int, data: bytes) -> None:
@@ -235,16 +240,14 @@ class SubstitutedNodeView:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
-class TripletOpCounts:
-    """Triplet-granularity cipher operations (the paper's cost unit)."""
+class TripletOpCounts(ThreadSafeCounters):
+    """Triplet-granularity cipher operations (the paper's cost unit).
 
-    encryptions: int = 0
-    decryptions: int = 0
+    Thread-safe (per-thread accumulation, merged reads) like every
+    counter on the concurrent read path.
+    """
 
-    def reset(self) -> None:
-        self.encryptions = 0
-        self.decryptions = 0
+    _FIELDS = ("encryptions", "decryptions")
 
 
 class PageKeyNodeCodec:
@@ -287,14 +290,14 @@ class PageKeyNodeCodec:
         out = bytearray()
         for start in range(0, len(plain), 8):
             out.extend(des.encrypt_block(plain[start : start + 8]))
-            self.block_counts.encryptions += 1
+            self.block_counts.bump("encryptions")
         return bytes(out)
 
     def _decrypt_chunk(self, des: DES, cipher: bytes) -> bytes:
         out = bytearray()
         for start in range(0, len(cipher), 8):
             out.extend(des.decrypt_block(cipher[start : start + 8]))
-            self.block_counts.decryptions += 1
+            self.block_counts.bump("decryptions")
         return bytes(out)
 
     # -- triplet serialisation -------------------------------------------
@@ -323,12 +326,12 @@ class PageKeyNodeCodec:
         for i, (key, value) in enumerate(zip(node.keys, node.values)):
             child = None if node.is_leaf else node.children[i]
             out.extend(self._encrypt_chunk(des, self._pack_triplet(key, value, child)))
-            self.triplet_counts.encryptions += 1
+            self.triplet_counts.bump("encryptions")
         if not node.is_leaf:
             out.extend(
                 self._encrypt_chunk(des, self._pack_triplet(0, None, node.children[-1]))
             )
-            self.triplet_counts.encryptions += 1
+            self.triplet_counts.bump("encryptions")
         return bytes(out)
 
     def decode(self, node_id: int, data: bytes) -> "PageKeyNodeView":
@@ -363,7 +366,7 @@ class PageKeyNodeView:
         if start + width > len(self._data):
             raise CodecError(f"triplet {i} beyond node {self.node_id} bounds")
         plain = self._codec._decrypt_chunk(self._des, self._data[start : start + width])
-        self._codec.triplet_counts.decryptions += 1
+        self._codec.triplet_counts.bump("decryptions")
         triplet = self._codec._unpack_triplet(plain)
         self._cache[i] = triplet
         return triplet
@@ -449,15 +452,15 @@ class WholePageNodeCodec:
     def encode(self, node: Node) -> bytes:
         plain = self.inner.encode(node)
         ciphertext = self.scheme.encrypt_page(node.node_id, plain)
-        self.triplet_counts.encryptions += node.num_keys + (0 if node.is_leaf else 1)
-        self.block_counts.encryptions += (len(ciphertext) + 7) // 8
+        self.triplet_counts.bump("encryptions", node.num_keys + (0 if node.is_leaf else 1))
+        self.block_counts.bump("encryptions", (len(ciphertext) + 7) // 8)
         return ciphertext
 
     def decode(self, node_id: int, data: bytes) -> PlainNodeView:
         plain = self.scheme.decrypt_page(node_id, data)
         view = self.inner.decode(node_id, plain)
-        self.triplet_counts.decryptions += view.num_keys + (0 if view.is_leaf else 1)
-        self.block_counts.decryptions += (len(data) + 7) // 8
+        self.triplet_counts.bump("decryptions", view.num_keys + (0 if view.is_leaf else 1))
+        self.block_counts.bump("decryptions", (len(data) + 7) // 8)
         return view
 
     def node_overhead_bytes(self, num_keys: int, is_leaf: bool) -> int:

@@ -36,6 +36,30 @@ Deferral always happens *below* the node codec: pointer-cipher and
 substitution counts are identical across modes, only disk-write counts
 change (benchmark C7 reports both).
 
+Read-path caches
+----------------
+
+Two opt-in plaintext cache levels (both off by default, keeping every
+cipher count on the paper's cost model):
+
+* ``record_cache_blocks`` -- the record store caches deciphered slot
+  blocks, so ``get``/``range_search`` decipher each data block once per
+  residency instead of once per matching record;
+* ``decoded_node_cache_blocks`` -- the pager memoises decoded node
+  views, so repeat visits to a hot node skip the codec's substitution
+  inversions and pointer decryptions.
+
+Invalidation is wired through every mutation path: ``put``/``delete``
+refresh the record cache in the same step as the platter write, node
+writes drop the block's decoded view, and a transaction rollback
+discards both the dirty pages and any plaintext decoded from them --
+cached plaintext can never outlive the bytes it came from.  Caching
+changes *plaintext-side* work only; ciphertext traffic is byte-identical
+with the caches on or off (benchmark C9 asserts both properties).
+:meth:`EncipheredDatabase.stats` reports each level's hit/miss/eviction
+counters and :meth:`EncipheredDatabase.clear_caches` forces a cold
+start.
+
 Concurrency
 -----------
 
@@ -44,11 +68,12 @@ Every public operation runs under a per-database
 queries (``search``/``get``/``range_search``/``items``/``len``) share the
 read side, mutations and commits hold the write side exclusively, and a
 :meth:`transaction` scope holds the write side end to end.  Combined with
-the internally locked pager and disks, interleaved reader threads can
-never observe a torn superblock or a half-flushed node.  Operation
-*counters* (tree comparisons, substitution tallies) are deliberately left
-outside the locks: they are benchmarking instruments, exact only in
-single-threaded runs.
+the internally locked pager, caches and disks, interleaved reader threads
+can never observe a torn superblock or a half-flushed node.  Operation
+*counters* (tree comparisons, substitution tallies, cipher operations)
+accumulate per-thread and merge on read
+(:class:`~repro.counters.ThreadSafeCounters`), so concurrent workloads
+report exact totals without a lock on any hot-path increment.
 """
 
 from __future__ import annotations
@@ -163,17 +188,28 @@ class EncipheredDatabase:
         cache_blocks: int = 16,
         write_back: bool = False,
         autocommit: bool = True,
+        record_cache_blocks: int = 0,
+        decoded_node_cache_blocks: int = 0,
     ) -> "EncipheredDatabase":
-        """Initialise a fresh database (block 0 reserved for the superblock)."""
+        """Initialise a fresh database (block 0 reserved for the superblock).
+
+        ``record_cache_blocks`` and ``decoded_node_cache_blocks`` size
+        the two plaintext read caches (record slot blocks and decoded
+        node views); both default to ``0`` -- off -- which keeps every
+        cipher-operation count on the paper's cost model.
+        """
         disk = SimulatedDisk(block_size=block_size)
         reserved = disk.allocate()
         if reserved != 0:
             raise StorageError("superblock must be block 0")
         counting = _counting(pointer_cipher)
         codec = SubstitutedNodeCodec(substitution, counting, PointerPacking())
-        pager = Pager(disk, cache_blocks=cache_blocks, write_back=write_back)
+        pager = Pager(disk, cache_blocks=cache_blocks, write_back=write_back,
+                      decoded_cache_blocks=decoded_node_cache_blocks)
         tree = BTree(pager=pager, codec=codec, min_degree=min_degree)
-        records = RecordStore(data_key, record_size=record_size, block_size=block_size)
+        records = RecordStore(data_key, record_size=record_size,
+                              block_size=block_size,
+                              cache_blocks=record_cache_blocks)
         db = cls(substitution, counting, disk, records, super_key, tree,
                  autocommit=autocommit)
         db.commit()  # superblock + the fresh root reach the platter
@@ -191,19 +227,35 @@ class EncipheredDatabase:
         cache_blocks: int = 16,
         write_back: bool = False,
         autocommit: bool = True,
+        record_cache_blocks: int | None = None,
+        decoded_node_cache_blocks: int = 0,
     ) -> "EncipheredDatabase":
-        """Rebuild a handle from the platter and the secrets alone."""
+        """Rebuild a handle from the platter and the secrets alone.
+
+        Every cache starts cold, as after a process restart.  Cache
+        *capacities* follow their owners: the pager is rebuilt here, so
+        ``cache_blocks``/``decoded_node_cache_blocks`` apply directly
+        (the decoded level defaults off, like ``create``); the record
+        store is the caller's durable object, so its configured cache
+        capacity persists unless ``record_cache_blocks`` is given
+        (``None`` keeps it, ``0`` forces the cache off).
+        """
         root_id, min_degree, size = cls._read_superblock(disk, super_key)
         counting = _counting(pointer_cipher)
         codec = SubstitutedNodeCodec(substitution, counting, PointerPacking())
-        pager = Pager(disk, cache_blocks=cache_blocks, write_back=write_back)
+        pager = Pager(disk, cache_blocks=cache_blocks, write_back=write_back,
+                      decoded_cache_blocks=decoded_node_cache_blocks)
+        if record_cache_blocks is not None:
+            records.cache.resize(record_cache_blocks)
         tree = BTree.attach(pager, codec, root_id, min_degree=min_degree)
         if tree.size != size:
             raise IntegrityError(
                 f"superblock records {size} keys, tree holds {tree.size}"
             )
-        return cls(substitution, counting, disk, records, super_key, tree,
-                   autocommit=autocommit)
+        db = cls(substitution, counting, disk, records, super_key, tree,
+                 autocommit=autocommit)
+        db._make_cold()  # attach's verification walk must not pre-warm
+        return db
 
     # -- commit machinery ------------------------------------------------
 
@@ -387,6 +439,49 @@ class EncipheredDatabase:
         with self.lock.read_locked():
             return self.tree.size
 
+    # -- caches ----------------------------------------------------------
+
+    def cache_config(self) -> dict[str, int]:
+        """Capacity (in blocks) of each read-path cache level."""
+        return {
+            "node_raw_blocks": self.tree.pager.capacity,
+            "node_decoded_blocks": self.tree.pager.decoded.capacity,
+            "record_plaintext_blocks": self.records.cache.capacity,
+        }
+
+    def clear_caches(self) -> None:
+        """Drop every cached page and plaintext block (cold-start support).
+
+        Outside a transaction, dirty node pages are flushed first --
+        clearing caches must never lose written data.  Inside a
+        :meth:`transaction` scope flushing would push uncommitted pages
+        past the rollback point, so only *clean* raw pages and the
+        derived plaintext levels (decoded views, record slots) are
+        dropped; uncommitted dirt stays pinned and discardable.  Either
+        way the call is safe mid-workload.
+        """
+        with self.lock.write_locked():
+            if self._in_txn:
+                self.tree.pager.drop_clean_cache()
+            else:
+                self.tree.pager.clear_cache()
+            self.records.clear_cache()
+
+    def _make_cold(self) -> None:
+        """Forget cache contents *and* cache statistics.
+
+        Reopen support: the verification walks a reopen performs (tree
+        size recovery, cluster routing validation) read through the
+        caches like any traversal; this forgets both what they warmed
+        and what they counted, so a reopened handle observes the same
+        cold caches a process restart would.
+        """
+        pager = self.tree.pager
+        pager.clear_cache()
+        pager.reset_stats()
+        self.records.clear_cache()
+        self.records.cache.stats.reset()
+
     def stats(self) -> dict[str, object]:
         """Point-in-time rollup of every counter the database owns.
 
@@ -420,6 +515,9 @@ class EncipheredDatabase:
                     "disk_writes": pager.disk_writes,
                     "dirty_evictions": pager.dirty_evictions,
                 },
+                "record_cipher": self.records.cipher_counts.snapshot(),
+                "record_cache": self.records.cache.stats.snapshot(),
+                "node_decoded_cache": self.tree.pager.decoded.stats.snapshot(),
                 "pointer_cipher": {
                     "encryptions": self.pointer_cipher.counts.encryptions,
                     "decryptions": self.pointer_cipher.counts.decryptions,

@@ -17,6 +17,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+from repro.counters import ThreadSafeCounters
+
 
 class BlockCipher(ABC):
     """A cipher over fixed-size byte blocks (e.g. DES's 8-byte blocks)."""
@@ -53,20 +55,20 @@ class IntegerCipher(ABC):
         """Decrypt the integer ``c`` (``0 <= c < modulus``)."""
 
 
-@dataclass
-class CryptoOpCounts:
-    """Tally of cryptographic operations performed through a wrapper."""
+class CryptoOpCounts(ThreadSafeCounters):
+    """Tally of cryptographic operations performed through a wrapper.
 
-    encryptions: int = 0
-    decryptions: int = 0
+    Thread-safe (per-thread accumulation, merged reads): counting
+    wrappers sit on the concurrent read path, where lost increments
+    would under-report cryptographic work.
+    """
 
-    def reset(self) -> None:
-        self.encryptions = 0
-        self.decryptions = 0
+    _FIELDS = ("encryptions", "decryptions")
 
     @property
     def total(self) -> int:
-        return self.encryptions + self.decryptions
+        snap = self.snapshot()
+        return snap["encryptions"] + snap["decryptions"]
 
 
 @dataclass
@@ -84,11 +86,11 @@ class CountingCipher(IntegerCipher):
         self.modulus = self.inner.modulus
 
     def encrypt_int(self, m: int) -> int:
-        self.counts.encryptions += 1
+        self.counts.bump("encryptions")
         return self.inner.encrypt_int(m)
 
     def decrypt_int(self, c: int) -> int:
-        self.counts.decryptions += 1
+        self.counts.bump("decryptions")
         return self.inner.decrypt_int(c)
 
     def reset_counts(self) -> None:
@@ -104,11 +106,11 @@ class CountingBlockCipher(BlockCipher):
         self.counts = CryptoOpCounts()
 
     def encrypt_block(self, block: bytes) -> bytes:
-        self.counts.encryptions += 1
+        self.counts.bump("encryptions")
         return self.inner.encrypt_block(block)
 
     def decrypt_block(self, block: bytes) -> bytes:
-        self.counts.decryptions += 1
+        self.counts.bump("decryptions")
         return self.inner.decrypt_block(block)
 
     def reset_counts(self) -> None:

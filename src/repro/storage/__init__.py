@@ -8,9 +8,13 @@ physical disk.  This package simulates that boundary:
 * :mod:`repro.storage.disk` -- a block device with read/write accounting
   and an optional encipherment transform applied exactly at the
   read/write boundary (the hardware module's position);
-* :mod:`repro.storage.pager` -- block allocation plus an LRU cache of
+* :mod:`repro.storage.cache` -- the generic thread-safe LRU (pinning,
+  eviction callback, mergeable hit/miss/eviction stats) every read-path
+  layer builds its caching on;
+* :mod:`repro.storage.pager` -- block allocation plus a two-level cache:
   *raw* (still-enciphered) blocks, so cryptographic costs stay faithful
-  while disk traffic is still realistic;
+  while disk traffic is still realistic, and an opt-in decoded-page
+  level for serving paths that may skip redundant re-decryption;
 * :mod:`repro.storage.layout` -- triplet/node sizing arithmetic used by
   the storage-overhead experiment (C2);
 * :mod:`repro.storage.rwlock` -- the reader--writer lock the concurrent
@@ -18,6 +22,7 @@ physical disk.  This package simulates that boundary:
   writers with.
 """
 
+from repro.storage.cache import CacheStats, LRUCache
 from repro.storage.disk import BlockTransform, DiskStats, SimulatedDisk
 from repro.storage.layout import NodeLayout, TripletLayout
 from repro.storage.pager import Pager
@@ -25,7 +30,9 @@ from repro.storage.rwlock import ReadWriteLock
 
 __all__ = [
     "BlockTransform",
+    "CacheStats",
     "DiskStats",
+    "LRUCache",
     "NodeLayout",
     "Pager",
     "ReadWriteLock",

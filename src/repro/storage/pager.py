@@ -1,12 +1,24 @@
-"""Block allocation and a raw-block LRU cache with two write policies.
+"""Block allocation and a two-level block cache with two write policies.
 
-The pager sits between the B-Tree and the simulated disk.  Its cache holds
-blocks in their *post-transform* (i.e. still plain, the disk transform is
-below us) byte form as returned by the disk read path; decoding a node --
-which is where the per-triplet cryptography lives -- always happens above
-the pager, so cache hits save disk I/O but never hide cryptographic cost.
-That separation keeps the decryption counts of experiments C1/C3 faithful
-to the paper's model, where every node *visit* pays its decryptions.
+The pager sits between the B-Tree and the simulated disk.  Both of its
+cache levels are :class:`~repro.storage.cache.LRUCache` instances -- the
+one caching subsystem every layer of the read path shares:
+
+* The **raw cache** holds blocks in their *post-transform* (i.e. still
+  plain, the disk transform is below us) byte form as returned by the
+  disk read path; decoding a node -- which is where the per-triplet
+  cryptography lives -- always happens above the pager, so raw hits save
+  disk I/O but never hide cryptographic cost.  That separation keeps the
+  decryption counts of experiments C1/C3 faithful to the paper's model,
+  where every node *visit* pays its decryptions.
+* The **decoded cache** (``decoded_cache_blocks``, *disabled by
+  default*) additionally memoises the caller-supplied decode of a block
+  via :meth:`Pager.read_decoded`.  A decoded hit skips the codec
+  entirely -- including its cryptography -- so this level must stay off
+  for every paper-faithful experiment; it exists for the serving path,
+  where redundant re-decryption of hot nodes is pure waste (benchmark
+  C9).  Every write or invalidation of a block drops its decoded entry,
+  so the decoded cache can never serve bytes the raw path has replaced.
 
 Two write policies are offered:
 
@@ -16,12 +28,13 @@ Two write policies are offered:
   reported I/O counts match the paper's per-operation cost model exactly.
 * **write-back** (``write_back=True``): writes only mark the cached copy
   dirty; bytes reach the disk when the block is evicted (evict-writes-
-  dirty), on :meth:`Pager.flush`, or never if :meth:`Pager.discard_dirty`
-  drops them first.  Repeated rewrites of a hot block -- the superblock,
-  a leaf absorbing a batch of inserts -- coalesce into one disk write,
-  which is the amortisation a transactional commit layer builds on.
-  Deferral happens *below* the node codec, so cryptographic counts are
-  identical in both modes; only disk-write counts change.
+  dirty, via the raw cache's eviction callback), on :meth:`Pager.flush`,
+  or never if :meth:`Pager.discard_dirty` drops them first.  Repeated
+  rewrites of a hot block -- the superblock, a leaf absorbing a batch of
+  inserts -- coalesce into one disk write, which is the amortisation a
+  transactional commit layer builds on.  Deferral happens *below* the
+  node codec, so cryptographic counts are identical in both modes; only
+  disk-write counts change.
 
 :class:`PagerStats` tracks both the read-side cache effectiveness and the
 write-side amplification (logical write requests vs. blocks that actually
@@ -31,9 +44,10 @@ hit the platter), which benchmark C7 reports.
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable
 
+from repro.storage.cache import LRUCache
 from repro.storage.disk import SimulatedDisk
 
 
@@ -82,14 +96,14 @@ class PagerStats:
 
 
 class Pager:
-    """LRU block cache with write-through or write-back semantics.
+    """Two-level LRU block cache with write-through or write-back semantics.
 
     Parameters
     ----------
     disk:
         The underlying block device.
     cache_blocks:
-        Cache capacity in blocks; ``0`` disables caching entirely, which
+        Raw-cache capacity in blocks; ``0`` disables raw caching, which
         the benchmarks use to measure cold-traversal costs.  (With
         ``write_back=True`` and no cache, every dirty page is evicted --
         and therefore written -- immediately, degenerating to
@@ -98,15 +112,20 @@ class Pager:
         ``False`` (default) writes through to disk on every
         :meth:`write`; ``True`` defers writes to eviction or
         :meth:`flush`.
+    decoded_cache_blocks:
+        Capacity of the decoded-page cache consulted by
+        :meth:`read_decoded`; ``0`` (default) disables it, keeping every
+        decode -- and its cryptography -- on the paper's cost model.
 
     Attributes
     ----------
     retain_dirty:
-        When ``True``, eviction never selects a dirty page (the cache may
-        temporarily exceed ``cache_blocks``).  A transaction sets this so
-        that uncommitted pages stay discardable for rollback; the bound
-        is restored by the :meth:`flush` or :meth:`discard_dirty` that
-        ends the transaction.
+        When ``True``, eviction never selects a dirty page -- including
+        pages that were already dirty when the flag was raised -- so the
+        raw cache may temporarily exceed ``cache_blocks``.  A transaction
+        sets this so that uncommitted pages stay discardable for
+        rollback; the bound is restored by the :meth:`flush` or
+        :meth:`discard_dirty` that ends the transaction.
     """
 
     def __init__(
@@ -114,13 +133,21 @@ class Pager:
         disk: SimulatedDisk,
         cache_blocks: int = 64,
         write_back: bool = False,
+        decoded_cache_blocks: int = 0,
     ) -> None:
         self.disk = disk
-        self.capacity = cache_blocks
         self.write_back = write_back
         self.retain_dirty = False
         self.stats = PagerStats()
-        self._cache: OrderedDict[int, bytes] = OrderedDict()
+        self._raw = LRUCache(
+            cache_blocks,
+            on_evict=self._write_if_dirty,
+            # consulted at eviction time, so it protects pages that were
+            # dirty before retain_dirty was raised, not just later writes
+            may_evict=lambda b: not (self.retain_dirty and b in self._dirty),
+            name="pager-raw",
+        )
+        self.decoded = LRUCache(decoded_cache_blocks, name="pager-decoded")
         self._dirty: set[int] = set()
         # Concurrent readers admitted by the database's reader--writer
         # lock still *mutate* the pager (LRU reorder, fill-on-miss,
@@ -133,13 +160,23 @@ class Pager:
         return self.disk.allocate()
 
     @property
+    def capacity(self) -> int:
+        """Raw-cache capacity in blocks."""
+        return self._raw.capacity
+
+    @capacity.setter
+    def capacity(self, cache_blocks: int) -> None:
+        with self._lock:
+            self._raw.resize(cache_blocks)
+
+    @property
     def dirty_blocks(self) -> int:
         """Number of cached pages holding unwritten data."""
         with self._lock:
             return len(self._dirty)
 
     def read(self, block_id: int) -> bytes:
-        """Read block bytes, consulting the cache first.
+        """Read block bytes, consulting the raw cache first.
 
         In write-back mode the cache is authoritative: a dirty page is
         newer than the platter, so the cached copy is always returned.
@@ -151,35 +188,62 @@ class Pager:
         only the first fills the cache.
         """
         with self._lock:
-            cached = self._cache.get(block_id)
+            cached = self._raw.get(block_id)
             if cached is not None:
-                self._cache.move_to_end(block_id)
                 self.stats.hits += 1
                 return cached
             self.stats.misses += 1
         data = self.disk.read_block(block_id)
         with self._lock:
-            current = self._cache.get(block_id)
+            current = self._raw.peek(block_id)
             if current is not None:
                 # a racing write (possibly dirty, newer than the platter)
                 # or fill beat us; theirs is authoritative
                 return current
-            self._remember(block_id, data)
+            if self._raw.enabled:
+                self._raw.put(block_id, data)
         return data
 
+    def read_decoded(self, block_id: int, decode: Callable[[int, bytes], object]):
+        """Read a block through the decoded-page cache.
+
+        ``decode`` is called as ``decode(block_id, raw_bytes)`` on a
+        decoded miss (or whenever the cache is disabled) and its result
+        -- typically a lazy node view holding plaintext -- is memoised
+        until the block is rewritten or invalidated.  The decode runs
+        outside every pager lock, exactly like the raw read path: racing
+        readers may decode the same block twice, and either result (they
+        are equivalent) wins the fill.
+        """
+        if not self.decoded.enabled:
+            return decode(block_id, self.read(block_id))
+        cached = self.decoded.get(block_id)
+        if cached is not None:
+            return cached
+        value = decode(block_id, self.read(block_id))
+        self.decoded.put(block_id, value)
+        return value
+
     def write(self, block_id: int, data: bytes) -> None:
-        """Write a block: through to disk, or into the dirty set."""
+        """Write a block: through to disk, or into the dirty set.
+
+        Either way the block's decoded entry is dropped -- the plaintext
+        cache must never outlive the bytes it was decoded from.
+        """
         with self._lock:
             self.stats.write_requests += 1
+            self.decoded.invalidate(block_id)
             if self.write_back:
-                self._cache[block_id] = data
-                self._cache.move_to_end(block_id)
                 self._dirty.add(block_id)
-                self._evict_over_capacity()
+                # put() evicts over capacity, and eviction of a dirty
+                # page writes it (evict-writes-dirty) -- so with no cache
+                # at all this degenerates to write-through.
+                self._raw.put(block_id, data)
             else:
                 self.stats.disk_writes += 1
                 self.disk.write_block(block_id, data)
-                self._remember(block_id, data)
+                if self._raw.enabled:
+                    self._raw.put(block_id, data)
 
     def flush(self) -> int:
         """Write every dirty page to disk; returns the number written.
@@ -192,69 +256,87 @@ class Pager:
                 return 0
             for block_id in sorted(self._dirty):
                 self.stats.disk_writes += 1
-                self.disk.write_block(block_id, self._cache[block_id])
+                self.disk.write_block(block_id, self._raw.peek(block_id))
             flushed = len(self._dirty)
             self._dirty.clear()
             self.stats.flushes += 1
-            self._evict_over_capacity()
+            self._raw.enforce_capacity()  # clean pages are evictable again
             return flushed
 
     def discard_dirty(self) -> int:
         """Drop every dirty page *without* writing it (rollback support).
 
-        The platter keeps whatever it last held for those blocks; returns
-        the number of pages discarded.
+        The platter keeps whatever it last held for those blocks; both
+        the raw bytes and any decoded plaintext cached for them are
+        dropped, so a rolled-back page can never be served.  Returns the
+        number of pages discarded.
         """
         with self._lock:
             dropped = len(self._dirty)
             for block_id in self._dirty:
-                self._cache.pop(block_id, None)
+                self._raw.invalidate(block_id)
+                self.decoded.invalidate(block_id)
             self._dirty.clear()
-            self._evict_over_capacity()
+            self._raw.enforce_capacity()
             return dropped
 
     def invalidate(self, block_id: int) -> None:
-        """Drop a block from the cache (e.g. after deallocation).
+        """Drop a block from both cache levels (e.g. after deallocation).
 
         A dirty page is dropped unwritten: the block is dead, its bytes
         must not resurface at the next flush.
         """
         with self._lock:
-            self._cache.pop(block_id, None)
+            self._raw.invalidate(block_id)
+            self.decoded.invalidate(block_id)
             self._dirty.discard(block_id)
 
+    def reset_stats(self) -> None:
+        """Zero every statistics surface the pager owns.
+
+        :class:`PagerStats` and the two cache levels' own
+        :class:`~repro.storage.cache.CacheStats` count overlapping
+        events (a raw read bumps both tallies); resetting them together
+        keeps the surfaces agreeing.
+        """
+        with self._lock:
+            self.stats.reset()
+            self._raw.stats.reset()
+            self.decoded.stats.reset()
+
     def clear_cache(self) -> None:
-        """Empty the cache; used to force cold benchmark runs.
+        """Empty both cache levels; used to force cold benchmark runs.
 
         Dirty pages are flushed first -- clearing the cache must never
-        lose written data.
+        lose written data.  Never call this inside a transaction scope:
+        flushing would push uncommitted pages past the rollback point
+        (use :meth:`drop_clean_cache` there instead).
         """
         with self._lock:
             self.flush()
-            self._cache.clear()
+            self._raw.clear()
+            self.decoded.clear()
 
-    def _remember(self, block_id: int, data: bytes) -> None:
-        # callers hold self._lock
-        if not self.capacity:
-            return
-        self._cache[block_id] = data
-        self._cache.move_to_end(block_id)
-        self._evict_over_capacity()
+    def drop_clean_cache(self) -> None:
+        """Drop every *clean* cached page and all decoded views.
 
-    def _evict_over_capacity(self) -> None:
-        while len(self._cache) > self.capacity:
-            victim = next(iter(self._cache))  # LRU order
-            if victim in self._dirty:
-                if self.retain_dirty:
-                    victim = next(
-                        (b for b in self._cache if b not in self._dirty), None
-                    )
-                    if victim is None:
-                        return  # everything is dirty and pinned
-                else:
-                    # evict-writes-dirty: the page's last chance to reach disk
-                    self.stats.disk_writes += 1
-                    self.stats.dirty_evictions += 1
-                    self.disk.write_block(victim, self._cache[victim])
-                    self._dirty.discard(victim)
-            self._cache.pop(victim)
+        The transaction-safe cold-cache path: dirty pages are neither
+        flushed nor dropped, so uncommitted work stays exactly as
+        discardable as it was.  Decoded views are always safe to drop --
+        they are derived data, re-decodable from whatever the raw path
+        serves next.
+        """
+        with self._lock:
+            for block_id in self._raw.keys():
+                if block_id not in self._dirty:
+                    self._raw.invalidate(block_id)
+            self.decoded.clear()
+
+    def _write_if_dirty(self, block_id: int, data: bytes) -> None:
+        """Raw-cache eviction callback: a dirty page's last chance to
+        reach disk (runs under both the pager and cache locks)."""
+        if block_id in self._dirty:
+            self.stats.disk_writes += 1
+            self.stats.dirty_evictions += 1
+            self.disk.write_block(block_id, data)
+            self._dirty.discard(block_id)

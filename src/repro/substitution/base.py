@@ -20,23 +20,24 @@ paper's arguments rely on:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+
+from repro.counters import ThreadSafeCounters
 
 
-@dataclass
-class SubstitutionCounters:
-    """Tally of disguise operations (cheap arithmetic, not decryptions)."""
+class SubstitutionCounters(ThreadSafeCounters):
+    """Tally of disguise operations (cheap arithmetic, not decryptions).
 
-    substitutions: int = 0
-    inversions: int = 0
+    Thread-safe (per-thread accumulation, merged reads): concurrent
+    readers invert disguises in parallel, and lost increments would
+    under-report traversal work.
+    """
 
-    def reset(self) -> None:
-        self.substitutions = 0
-        self.inversions = 0
+    _FIELDS = ("substitutions", "inversions")
 
     @property
     def total(self) -> int:
-        return self.substitutions + self.inversions
+        snap = self.snapshot()
+        return snap["substitutions"] + snap["inversions"]
 
 
 class KeySubstitution(ABC):
@@ -55,12 +56,12 @@ class KeySubstitution(ABC):
 
     def substitute(self, key: int) -> int:
         """Disguise ``key``; raises ``KeyUniverseError`` outside the universe."""
-        self.counters.substitutions += 1
+        self.counters.bump("substitutions")
         return self._substitute(key)
 
     def invert(self, stored: int) -> int:
         """Recover the plaintext key from its stored substitute."""
-        self.counters.inversions += 1
+        self.counters.bump("inversions")
         return self._invert(stored)
 
     @abstractmethod

@@ -140,6 +140,20 @@ class TestWriteBack:
         pager.read(blocks[0])
         assert pager.stats.misses <= 2  # cache shrank to capacity 1
 
+    def test_retain_dirty_protects_pre_existing_dirt(self):
+        """Pages dirtied *before* retain_dirty was raised must also be
+        exempt from evict-writes-dirty: rollback owns them too."""
+        pager = make_pager(2, write_back=True)
+        blocks = [pager.allocate() for _ in range(3)]
+        pager.write(blocks[0], b"dirty before retain")
+        pager.retain_dirty = True
+        pager.write(blocks[1], b"b1")
+        pager.write(blocks[2], b"b2")  # over capacity: nothing evictable
+        assert pager.disk.stats.writes == 0
+        assert pager.dirty_blocks == 3
+        assert pager.discard_dirty() == 3
+        assert pager.disk.stats.writes == 0  # rollback reached every page
+
     def test_discard_dirty_keeps_platter_state(self):
         pager = make_pager(4, write_back=True)
         b = pager.allocate()
