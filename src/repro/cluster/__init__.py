@@ -11,25 +11,36 @@ platters cannot correlate block frequencies across shards.
 * :mod:`repro.cluster.router` -- hash and range key-to-shard routing;
 * :mod:`repro.cluster.sharded` -- the
   :class:`~repro.cluster.sharded.ShardedEncipheredDatabase` engine
-  (thread-pool fan-out, per-shard key derivation, cross-shard
-  transactions);
+  (pluggable serial/thread/process fan-out, per-shard key derivation,
+  cross-shard transactions);
+* :mod:`repro.cluster.executor` -- the process-pool backend: picklable
+  shard specs, one worker process per shard, merged counter rollups;
 * :mod:`repro.cluster.stats` -- per-shard and aggregated counter rollups.
 
 Benchmark C8 (``benchmarks/bench_c8_sharding.py``) measures the
 cluster's write amplification, range-query speedup and cross-shard block
-indistinguishability.
+indistinguishability; C10 (``benchmarks/bench_c10_crypto_throughput.py``)
+measures cipher-kernel throughput and the executor backends' wall-clock.
 """
 
+from repro.cluster.executor import ProcessShardExecutor, ShardSpec
 from repro.cluster.router import HashRouter, RangeRouter, ShardRouter
 from repro.cluster.sharded import ShardedEncipheredDatabase, derive_shard_key
-from repro.cluster.stats import ClusterStats, merge_counter_dicts
+from repro.cluster.stats import (
+    ClusterStats,
+    merge_counter_dicts,
+    subtract_counter_dicts,
+)
 
 __all__ = [
     "ClusterStats",
     "HashRouter",
+    "ProcessShardExecutor",
     "RangeRouter",
     "ShardRouter",
+    "ShardSpec",
     "ShardedEncipheredDatabase",
     "derive_shard_key",
     "merge_counter_dicts",
+    "subtract_counter_dicts",
 ]

@@ -11,8 +11,22 @@ different keys on every shard.
 Routing happens on plaintext keys inside the trusted boundary (see
 :mod:`repro.cluster.router`).  Cross-shard operations -- ``range_search``
 fan-out, ``bulk_load`` partitioning, ``get_many`` batch reads -- run on a
-shard-count-bounded thread pool; per-shard reader--writer locks let
-parallel readers proceed while each shard serialises its writers.
+pluggable executor backend (``executor=``):
+
+* ``"threads"`` (default) -- a shard-count-bounded thread pool;
+  per-shard reader--writer locks let parallel readers proceed while
+  each shard serialises its writers.  Overlaps I/O, but pure-Python
+  cryptography serialises on the GIL (benchmark C8).
+* ``"processes"`` -- one worker process per shard (see
+  :mod:`repro.cluster.executor`): each worker rebuilds its shard from a
+  picklable spec and runs the fan-out's cryptography on its own
+  interpreter, which is what turns the shorter critical path into
+  wall-clock speedup on multi-core hardware (benchmark C10).  Requires
+  module-level (picklable) factories.  Single-key operations and
+  transactions stay on the calling process; worker replicas are
+  re-synced automatically after any cluster-level mutation.
+* ``"serial"`` -- a plain loop on the calling thread, the baseline the
+  benchmarks compare against.
 
 Key derivation
 --------------
@@ -34,8 +48,9 @@ from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack, contextmanager
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.cluster.executor import ProcessShardExecutor, UncommittedShardState
 from repro.cluster.router import HashRouter, RangeRouter, ShardRouter
-from repro.cluster.stats import ClusterStats
+from repro.cluster.stats import ClusterStats, merge_counter_dicts
 from repro.core.database import EncipheredDatabase
 from repro.core.records import RecordStore
 from repro.crypto.base import IntegerCipher
@@ -88,11 +103,15 @@ class ShardedEncipheredDatabase:
     strictly harder than against one database.
     """
 
+    _EXECUTORS = ("serial", "threads", "processes")
+
     def __init__(
         self,
         shards: Sequence[EncipheredDatabase],
         router: ShardRouter,
         max_workers: int | None = None,
+        executor: str = "threads",
+        shard_factories: tuple | None = None,
     ) -> None:
         if not shards:
             raise StorageError("a cluster needs at least one shard")
@@ -100,12 +119,28 @@ class ShardedEncipheredDatabase:
             raise StorageError(
                 f"router covers {router.num_shards} shards, got {len(shards)}"
             )
+        if executor not in self._EXECUTORS:
+            raise StorageError(
+                f"executor must be one of {self._EXECUTORS}, got {executor!r}"
+            )
+        if executor == "processes" and shard_factories is None:
+            raise StorageError(
+                "executor='processes' needs the shard factories to rebuild "
+                "shards in workers; construct the cluster via create()/reopen()"
+            )
         self.shards = list(shards)
         self.router = router
+        self.executor = executor
+        self._shard_factories = shard_factories
         self._max_workers = max_workers or len(self.shards)
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
         self._txn_thread: int | None = None
+        # Process-backend replica consistency: each cluster-level
+        # mutation bumps the touched shards' epochs, and a worker whose
+        # spec predates the epoch is re-shipped before serving.
+        self._shard_epochs = [0] * len(self.shards)
+        self._procs: ProcessShardExecutor | None = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -128,14 +163,21 @@ class ShardedEncipheredDatabase:
         max_workers: int | None = None,
         record_cache_blocks: int = 0,
         decoded_node_cache_blocks: int = 0,
+        decoded_node_cache_bytes: int = 0,
+        executor: str = "threads",
     ) -> "ShardedEncipheredDatabase":
         """Initialise ``num_shards`` fresh shards with derived secrets.
 
-        ``record_cache_blocks``/``decoded_node_cache_blocks`` size each
+        ``record_cache_blocks``/``decoded_node_cache_blocks`` (and the
+        byte-budget variant ``decoded_node_cache_bytes``) size each
         shard's *private* plaintext read caches (defaults off).  Private
-        caches give the thread-pool fan-out per-shard cache locality:
-        each worker warms and hits only the shard it is scanning, with
-        no cross-shard invalidation traffic and no shared-cache lock.
+        caches give the fan-out per-shard cache locality: each worker
+        warms and hits only the shard it is scanning, with no
+        cross-shard invalidation traffic and no shared-cache lock.
+
+        ``executor`` selects the fan-out backend (``"serial"``,
+        ``"threads"``, ``"processes"``); the process backend requires
+        both factories to be picklable module-level functions.
         """
         substitutions = [substitution_factory(i) for i in range(num_shards)]
         shards = [
@@ -152,11 +194,18 @@ class ShardedEncipheredDatabase:
                 autocommit=autocommit,
                 record_cache_blocks=record_cache_blocks,
                 decoded_node_cache_blocks=decoded_node_cache_blocks,
+                decoded_node_cache_bytes=decoded_node_cache_bytes,
             )
             for i in range(num_shards)
         ]
         resolved = _resolve_router(router, num_shards, substitutions[0])
-        return cls(shards, resolved, max_workers=max_workers)
+        return cls(
+            shards,
+            resolved,
+            max_workers=max_workers,
+            executor=executor,
+            shard_factories=(substitution_factory, pointer_cipher_factory),
+        )
 
     @classmethod
     def reopen(
@@ -173,7 +222,9 @@ class ShardedEncipheredDatabase:
         max_workers: int | None = None,
         record_cache_blocks: int | None = None,
         decoded_node_cache_blocks: int = 0,
+        decoded_node_cache_bytes: int = 0,
         validate_routing: bool = True,
+        executor: str = "threads",
     ) -> "ShardedEncipheredDatabase":
         """Rebuild a cluster from each shard's platters and the secrets.
 
@@ -208,6 +259,7 @@ class ShardedEncipheredDatabase:
                 autocommit=autocommit,
                 record_cache_blocks=record_cache_blocks,
                 decoded_node_cache_blocks=decoded_node_cache_blocks,
+                decoded_node_cache_bytes=decoded_node_cache_bytes,
             )
             for i, (disk, records) in enumerate(parts)
         ]
@@ -216,7 +268,13 @@ class ShardedEncipheredDatabase:
             cls._validate_routing(shards, resolved)
             for shard in shards:
                 shard._make_cold()  # the validation walk must not pre-warm
-        return cls(shards, resolved, max_workers=max_workers)
+        return cls(
+            shards,
+            resolved,
+            max_workers=max_workers,
+            executor=executor,
+            shard_factories=(substitution_factory, pointer_cipher_factory),
+        )
 
     @staticmethod
     def _validate_routing(
@@ -268,13 +326,56 @@ class ShardedEncipheredDatabase:
                 )
             return self._executor
 
+    def _process_pool(self) -> ProcessShardExecutor:
+        with self._executor_lock:
+            if self._procs is None:
+                substitution_factory, pointer_cipher_factory = self._shard_factories
+                self._procs = ProcessShardExecutor(
+                    substitution_factory, pointer_cipher_factory, len(self.shards)
+                )
+            return self._procs
+
+    def _process_map(self, op: str, shard_ids: Sequence[int], payloads: Sequence) -> list:
+        return self._process_pool().map(
+            op, shard_ids, payloads, self.shards, self._shard_epochs
+        )
+
+    def _use_processes(self, shard_ids: Sequence[int]) -> bool:
+        """Worker processes pay off only for a true multi-shard fan-out.
+
+        Single-shard and in-transaction work stays on this thread, and
+        so does any fan-out while a shard holds *uncommitted* state
+        (dirty write-back pages or an open shard transaction): shipping
+        a spec must never force a commit, and the in-process backends
+        already serve uncommitted reads with the right semantics.
+        """
+        return (
+            self.executor == "processes"
+            and len(shard_ids) > 1
+            and threading.get_ident() != self._txn_thread
+            and not any(
+                shard.has_uncommitted_changes
+                or shard.tree.pager.dirty_blocks
+                or shard._in_txn
+                for shard in self.shards
+            )
+        )
+
+    def _note_writes(self, shard_ids: Iterable[int]) -> None:
+        """Record that the listed shards' durable state changed."""
+        for shard_id in shard_ids:
+            self._shard_epochs[shard_id] += 1
+
     def close(self) -> None:
-        """Commit every shard and release the worker threads."""
+        """Commit every shard and release the worker threads/processes."""
         self.commit()
         with self._executor_lock:
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
                 self._executor = None
+        if self._procs is not None:
+            # keep the object: its harvested counters still feed stats()
+            self._procs.close()
 
     def __enter__(self) -> "ShardedEncipheredDatabase":
         return self
@@ -291,7 +392,11 @@ class ShardedEncipheredDatabase:
         degrades to a serial loop on the calling thread instead of
         deadlocking the pool.
         """
-        if len(shard_ids) <= 1 or threading.get_ident() == self._txn_thread:
+        if (
+            self.executor == "serial"
+            or len(shard_ids) <= 1
+            or threading.get_ident() == self._txn_thread
+        ):
             return [fn(i) for i in shard_ids]
         return list(self._pool().map(fn, shard_ids))
 
@@ -301,7 +406,9 @@ class ShardedEncipheredDatabase:
         return self.shards[self.router.shard_for(key)]
 
     def insert(self, key: int, record: bytes) -> None:
-        self._shard(key).insert(key, record)
+        shard_id = self.router.shard_for(key)
+        self.shards[shard_id].insert(key, record)
+        self._note_writes((shard_id,))
 
     def search(self, key: int) -> bytes:
         return self._shard(key).search(key)
@@ -313,7 +420,9 @@ class ShardedEncipheredDatabase:
         return key in self._shard(key)
 
     def delete(self, key: int) -> None:
-        self._shard(key).delete(key)
+        shard_id = self.router.shard_for(key)
+        self.shards[shard_id].delete(key)
+        self._note_writes((shard_id,))
 
     # -- fanned-out operations -------------------------------------------
 
@@ -325,9 +434,18 @@ class ShardedEncipheredDatabase:
         parallel and their sorted partial results merged.
         """
         shard_ids = self.router.shards_for_range(lo, hi)
-        partials = self._fan_out(
-            lambda i: self.shards[i].range_search(lo, hi), shard_ids
-        )
+        partials = None
+        if self._use_processes(shard_ids):
+            try:
+                partials = self._process_map(
+                    "range_search", shard_ids, [(lo, hi)] * len(shard_ids)
+                )
+            except UncommittedShardState:
+                partials = None  # racing writer left dirt: serve in-process
+        if partials is None:
+            partials = self._fan_out(
+                lambda i: self.shards[i].range_search(lo, hi), shard_ids
+            )
         if len(partials) <= 1:
             return partials[0] if partials else []
         return sorted(
@@ -343,6 +461,21 @@ class ShardedEncipheredDatabase:
             list(enumerate(keys)), key=lambda pk: pk[1]
         )
         out: list[bytes | None] = [default] * len(keys)
+        touched = [i for i, group in enumerate(by_shard) if group]
+
+        if self._use_processes(touched):
+            payloads = [
+                ([key for _, key in by_shard[i]], default) for i in touched
+            ]
+            try:
+                chunks = self._process_map("get_many", touched, payloads)
+            except UncommittedShardState:
+                chunks = None  # racing writer left dirt: serve in-process
+            if chunks is not None:
+                for shard_id, values in zip(touched, chunks):
+                    for (position, _), record in zip(by_shard[shard_id], values):
+                        out[position] = record
+                return out
 
         def fetch(shard_id: int) -> list[tuple[int, bytes | None]]:
             shard = self.shards[shard_id]
@@ -351,7 +484,6 @@ class ShardedEncipheredDatabase:
                 for position, key in by_shard[shard_id]
             ]
 
-        touched = [i for i, group in enumerate(by_shard) if group]
         for chunk in self._fan_out(fetch, touched):
             for position, record in chunk:
                 out[position] = record
@@ -375,7 +507,75 @@ class ShardedEncipheredDatabase:
                 raise DuplicateKeyError(right)
         partitions = self.router.partition(pairs, key=lambda kv: kv[0])
         loaded = [i for i, part in enumerate(partitions) if part]
-        self._fan_out(lambda i: self.shards[i].bulk_load(partitions[i]), loaded)
+        # The worker commits its replica to ship the state back, so the
+        # process path is only equivalent when the parent would commit
+        # too: an autocommit=False load must stay uncommitted (rollback-
+        # able), which only the in-process backends preserve.
+        if self._use_processes(loaded) and all(
+            self.shards[i].autocommit for i in loaded
+        ):
+            try:
+                self._process_bulk_load(loaded, partitions)
+                return
+            except UncommittedShardState:
+                pass  # racing writer left dirt: load in-process instead
+        try:
+            self._fan_out(lambda i: self.shards[i].bulk_load(partitions[i]), loaded)
+        finally:
+            # in the finally: a *partial* failure already changed some
+            # shards' durable state (cross-shard atomicity is documented
+            # as open), and a worker replica shipped before the load
+            # must not keep serving the pre-load state
+            self._note_writes(loaded)
+
+    def _process_bulk_load(self, loaded: Sequence[int], partitions: Sequence) -> None:
+        """Build the per-shard trees in the workers, then adopt their state.
+
+        Each worker loads its slice into its private replica and ships
+        the resulting durable state back; the parent installs it into
+        its shard objects (platters, slot metadata, tree metadata --
+        a state transfer, no re-encryption) and re-baselines the
+        worker's counters so the load's cipher operations are counted
+        exactly once.
+        """
+        procs = self._process_pool()
+        try:
+            replies = self._process_map(
+                "bulk_load", loaded, [partitions[i] for i in loaded]
+            )
+            for shard_id, (stats_after, tree_state, node_blocks, record_state) in zip(
+                loaded, replies
+            ):
+                shard = self.shards[shard_id]
+                with shard.lock.write_locked():
+                    # the worker built from a snapshot of an *empty* shard
+                    # (bulk_load's precondition); a write that raced in
+                    # since would be silently clobbered by the install,
+                    # so refuse it instead (checked under the shard lock,
+                    # where every mutation updates tree.size)
+                    if shard.tree.size != 0:
+                        raise StorageError(
+                            f"shard {shard_id} was mutated during a "
+                            "process-backend bulk_load; nothing installed "
+                            "for it, reload required"
+                        )
+                    shard.tree.pager.discard_dirty()
+                    shard.tree.pager.clear_cache()
+                    shard.disk.import_state(node_blocks)
+                    shard.records.import_state(record_state)
+                    shard.tree.restore_state(tree_state)
+                procs.rebase(shard_id, stats_after)
+                # the worker already holds exactly this state: bump the
+                # epoch and mark it shipped, so the next read skips the
+                # re-sync
+                self._shard_epochs[shard_id] += 1
+                procs.epochs_sent[shard_id] = self._shard_epochs[shard_id]
+        except BaseException:
+            # a sibling shard failed (or an install threw): workers that
+            # already loaded their slice now diverge from the parent, so
+            # force a re-ship before any of them serves again
+            procs.invalidate(loaded)
+            raise
 
     # -- transactions and durability -------------------------------------
 
@@ -398,16 +598,37 @@ class ShardedEncipheredDatabase:
                 yield self
             finally:
                 self._txn_thread = None
+                # the scope may have touched any shard; replicas re-sync
+                self._note_writes(range(len(self.shards)))
 
     def commit(self) -> None:
-        """Make every shard's pending changes durable."""
-        for shard in self.shards:
+        """Make every shard's pending changes durable.
+
+        Only shards with pending work get their replica epoch bumped: a
+        no-op commit rewrites the superblock with identical bytes, so
+        the worker replicas stay valid and a read-heavy process-backend
+        workload does not re-ship every platter after each periodic
+        commit.
+        """
+        for i, shard in enumerate(self.shards):
+            pending = (
+                shard.has_uncommitted_changes or shard.tree.pager.dirty_blocks
+            )
             shard.commit()
+            if pending:
+                self._note_writes((i,))
 
     def clear_caches(self) -> None:
-        """Drop every shard's cached plaintext (cold-start support)."""
+        """Drop every shard's cached plaintext (cold-start support).
+
+        Process-backend worker replicas hold their own plaintext caches;
+        live workers are told to go cold too, so a cold benchmark run
+        means cold everywhere.
+        """
         for shard in self.shards:
             shard.clear_caches()
+        if self._procs is not None:
+            self._procs.clear_caches()
 
     # -- whole-cluster queries -------------------------------------------
 
@@ -425,11 +646,21 @@ class ShardedEncipheredDatabase:
         )
 
     def stats(self) -> ClusterStats:
-        """Aggregated per-shard counter rollups (see :class:`ClusterStats`)."""
-        return ClusterStats(
-            router=self.router.name,
-            per_shard=[shard.stats() for shard in self.shards],
-        )
+        """Aggregated per-shard counter rollups (see :class:`ClusterStats`).
+
+        With the process backend, operations executed inside worker
+        replicas are merged into their shard's rollup (leaf-wise, like
+        every other counter), so the cost model reports every cipher
+        operation the cluster performed regardless of which process ran
+        it -- serial, threaded and process runs of the same workload
+        report identical cipher totals.
+        """
+        per_shard = []
+        for i, shard in enumerate(self.shards):
+            base = shard.stats()
+            extras = self._procs.extra_counters(i) if self._procs is not None else []
+            per_shard.append(merge_counter_dicts([base, *extras]) if extras else base)
+        return ClusterStats(router=self.router.name, per_shard=per_shard)
 
     def check_invariants(self) -> None:
         """Verify every shard's B-Tree invariants and router placement."""

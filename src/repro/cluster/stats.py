@@ -27,6 +27,23 @@ def merge_counter_dicts(dicts: list[dict[str, object]]) -> dict[str, object]:
     return merged
 
 
+def subtract_counter_dicts(
+    current: dict[str, object], base: dict[str, object]
+) -> dict[str, object]:
+    """Leaf-wise ``current - base`` of same-shaped nested dicts.
+
+    The process executor uses this to turn two snapshots of a worker's
+    counters into the delta attributable to the operations in between.
+    """
+    delta: dict[str, object] = {}
+    for key, value in current.items():
+        if isinstance(value, dict):
+            delta[key] = subtract_counter_dicts(value, base[key])
+        else:
+            delta[key] = value - base[key]
+    return delta
+
+
 @dataclass
 class ClusterStats:
     """Point-in-time statistics for a sharded database.

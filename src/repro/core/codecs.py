@@ -287,18 +287,12 @@ class PageKeyNodeCodec:
     def _encrypt_chunk(self, des: DES, plain: bytes) -> bytes:
         if len(plain) % 8:
             plain = plain + b"\x00" * (8 - len(plain) % 8)
-        out = bytearray()
-        for start in range(0, len(plain), 8):
-            out.extend(des.encrypt_block(plain[start : start + 8]))
-            self.block_counts.bump("encryptions")
-        return bytes(out)
+        self.block_counts.bump("encryptions", len(plain) // 8)
+        return des.encrypt_blocks(plain)
 
     def _decrypt_chunk(self, des: DES, cipher: bytes) -> bytes:
-        out = bytearray()
-        for start in range(0, len(cipher), 8):
-            out.extend(des.decrypt_block(cipher[start : start + 8]))
-            self.block_counts.bump("decryptions")
-        return bytes(out)
+        self.block_counts.bump("decryptions", len(cipher) // 8)
+        return des.decrypt_blocks(cipher)
 
     # -- triplet serialisation -------------------------------------------
 

@@ -135,6 +135,13 @@ class EncipheredDatabase:
         #: callers can pin a consistent multi-operation view (e.g. a
         #: verifying reopen) to the read side.
         self.lock = ReadWriteLock()
+        #: True while the in-memory state is ahead of the last commit
+        #: point: with ``autocommit=False`` a write-through mutation
+        #: updates node blocks on the platter but not the superblock, so
+        #: the platter alone is not a faithful snapshot until commit.
+        #: Consumers that serialise the platter (the cluster's process
+        #: executor) consult this to refuse or reroute.
+        self.has_uncommitted_changes = False
         self._in_txn = False
         self._txn_record_puts: list[int] = []
         self._txn_record_deletes: list[int] = []
@@ -190,6 +197,7 @@ class EncipheredDatabase:
         autocommit: bool = True,
         record_cache_blocks: int = 0,
         decoded_node_cache_blocks: int = 0,
+        decoded_node_cache_bytes: int = 0,
     ) -> "EncipheredDatabase":
         """Initialise a fresh database (block 0 reserved for the superblock).
 
@@ -197,6 +205,9 @@ class EncipheredDatabase:
         the two plaintext read caches (record slot blocks and decoded
         node views); both default to ``0`` -- off -- which keeps every
         cipher-operation count on the paper's cost model.
+        ``decoded_node_cache_bytes`` additionally (or instead) bounds the
+        decoded-node cache by the byte size of the blocks its views were
+        decoded from, making its memory footprint plannable.
         """
         disk = SimulatedDisk(block_size=block_size)
         reserved = disk.allocate()
@@ -205,7 +216,8 @@ class EncipheredDatabase:
         counting = _counting(pointer_cipher)
         codec = SubstitutedNodeCodec(substitution, counting, PointerPacking())
         pager = Pager(disk, cache_blocks=cache_blocks, write_back=write_back,
-                      decoded_cache_blocks=decoded_node_cache_blocks)
+                      decoded_cache_blocks=decoded_node_cache_blocks,
+                      decoded_cache_bytes=decoded_node_cache_bytes)
         tree = BTree(pager=pager, codec=codec, min_degree=min_degree)
         records = RecordStore(data_key, record_size=record_size,
                               block_size=block_size,
@@ -229,6 +241,7 @@ class EncipheredDatabase:
         autocommit: bool = True,
         record_cache_blocks: int | None = None,
         decoded_node_cache_blocks: int = 0,
+        decoded_node_cache_bytes: int = 0,
     ) -> "EncipheredDatabase":
         """Rebuild a handle from the platter and the secrets alone.
 
@@ -244,7 +257,8 @@ class EncipheredDatabase:
         counting = _counting(pointer_cipher)
         codec = SubstitutedNodeCodec(substitution, counting, PointerPacking())
         pager = Pager(disk, cache_blocks=cache_blocks, write_back=write_back,
-                      decoded_cache_blocks=decoded_node_cache_blocks)
+                      decoded_cache_blocks=decoded_node_cache_blocks,
+                      decoded_cache_bytes=decoded_node_cache_bytes)
         if record_cache_blocks is not None:
             records.cache.resize(record_cache_blocks)
         tree = BTree.attach(pager, codec, root_id, min_degree=min_degree)
@@ -273,6 +287,7 @@ class EncipheredDatabase:
             self._txn_record_puts = []
             self._write_superblock()
             self.tree.pager.flush()
+            self.has_uncommitted_changes = False
             if self._in_txn:
                 self._txn_snapshot = self.tree.snapshot_state()
 
@@ -297,6 +312,7 @@ class EncipheredDatabase:
                 self.records.delete(record_id)
             self._txn_record_puts = []
             self._txn_record_deletes = []
+            self.has_uncommitted_changes = False  # back at the commit point
             self._txn_snapshot = self.tree.snapshot_state()
 
     @contextmanager
@@ -346,6 +362,7 @@ class EncipheredDatabase:
                 pager.flush()  # restoring write-through must not strand dirt
 
     def _after_mutation(self) -> None:
+        self.has_uncommitted_changes = True
         if self.autocommit and not self._in_txn:
             self.commit()
 
@@ -387,6 +404,7 @@ class EncipheredDatabase:
             if self._in_txn:
                 # defer the slot free: rollback must still find the bytes
                 self._txn_record_deletes.append(record_id)
+                self.has_uncommitted_changes = True
                 return
             try:
                 self.records.delete(record_id)
@@ -446,6 +464,7 @@ class EncipheredDatabase:
         return {
             "node_raw_blocks": self.tree.pager.capacity,
             "node_decoded_blocks": self.tree.pager.decoded.capacity,
+            "node_decoded_max_bytes": self.tree.pager.decoded.max_bytes,
             "record_plaintext_blocks": self.records.cache.capacity,
         }
 
@@ -517,7 +536,12 @@ class EncipheredDatabase:
                 },
                 "record_cipher": self.records.cipher_counts.snapshot(),
                 "record_cache": self.records.cache.stats.snapshot(),
-                "node_decoded_cache": self.tree.pager.decoded.stats.snapshot(),
+                # bytes_cached is a gauge (current footprint under the
+                # byte budget), reported beside the cache's counters
+                "node_decoded_cache": {
+                    **self.tree.pager.decoded.stats.snapshot(),
+                    "bytes_cached": self.tree.pager.decoded.total_bytes,
+                },
                 "pointer_cipher": {
                     "encryptions": self.pointer_cipher.counts.encryptions,
                     "decryptions": self.pointer_cipher.counts.decryptions,

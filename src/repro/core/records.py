@@ -49,6 +49,7 @@ class _RecordBlockTransform:
     """
 
     def __init__(self, key: bytes) -> None:
+        self.key = key
         self._des = DES(key)
         self.counts = CryptoOpCounts()
 
@@ -111,6 +112,67 @@ class RecordStore:
     def cipher_counts(self) -> CryptoOpCounts:
         """Whole-block record-cipher operation counters."""
         return self._transform.counts
+
+    @property
+    def data_key(self) -> bytes:
+        """The data-block cipher key (secret; in-memory material only)."""
+        return self._transform.key
+
+    # -- whole-store state (process-executor support) --------------------
+
+    def export_state(self) -> dict[str, object]:
+        """Everything a process-pool worker needs to rebuild this store.
+
+        Platter bytes stay *enciphered* (they are exported at rest,
+        below the transform) alongside the slot-allocation metadata that
+        lives only in memory.  Pair with :meth:`from_state`.
+        """
+        return {
+            "data_key": self.data_key,
+            "record_size": self.record_size,
+            "block_size": self.disk.block_size,
+            "cache_blocks": self.cache.capacity,
+            "blocks": self.disk.export_state(),
+            "free": list(self._free),
+            "count": self.count,
+            "open_block": self._open_block,
+            "open_slots": list(self._open_slots),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, object]) -> "RecordStore":
+        """Rebuild a store from :meth:`export_state` output (cold caches)."""
+        store = cls(
+            state["data_key"],
+            record_size=state["record_size"],
+            block_size=state["block_size"],
+            cache_blocks=state["cache_blocks"],
+        )
+        store.import_state(state)
+        return store
+
+    def import_state(self, state: dict[str, object]) -> None:
+        """Adopt another store's platter and slot metadata in place.
+
+        Used when a worker's post-``bulk_load`` state is shipped back:
+        the receiving store must already share the exported store's
+        geometry and data key.  The plaintext cache is dropped -- it may
+        describe blocks the imported platter replaced.
+        """
+        if (
+            state["record_size"] != self.record_size
+            or state["block_size"] != self.disk.block_size
+            or state["data_key"] != self.data_key
+        ):
+            raise StorageError(
+                "record-store state import requires identical geometry and key"
+            )
+        self.disk.import_state(state["blocks"])
+        self._free = list(state["free"])
+        self.count = state["count"]
+        self._open_block = state["open_block"]
+        self._open_slots = list(state["open_slots"])
+        self.cache.clear()
 
     # -- helpers ---------------------------------------------------------
 

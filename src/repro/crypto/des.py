@@ -8,12 +8,29 @@ full 16-round cipher -- initial/final permutations, key schedule (PC-1,
 PC-2, rotation schedule), expansion, the eight S-boxes and permutation P --
 directly from the standard.
 
-The implementation favours clarity over raw speed: blocks are manipulated
-as 64-bit integers and permutations are table-driven.  Known-answer tests
-in ``tests/crypto/test_des.py`` validate it against published test vectors.
+Two interchangeable kernels compute the cipher (benchmark C10 compares
+them; they are byte-identical on every input):
+
+* ``"reference"`` -- the clarity-first reading of FIPS 46: every
+  permutation is applied bit by bit straight from the printed tables.
+  Kept as the executable specification the known-answer tests pin down.
+* ``"fast"`` (the default) -- the same 16 rounds around precomputed
+  lookup tables: byte-wide LUTs for IP/FP/E, the eight S-boxes fused
+  with permutation P into eight 64-entry -> 32-bit SP tables, the key
+  schedule (forward *and* reversed) derived once per key object, and
+  bulk-block entry points (:meth:`DES.encrypt_blocks` /
+  :meth:`DES.decrypt_blocks`) that amortise Python call overhead over a
+  whole node or record block.
+
+The kernel is chosen per :class:`DES` instance (``kernel=``), falling
+back to the process-wide default -- :func:`set_default_kernel` or the
+``REPRO_DES_KERNEL`` environment variable ("fast" unless overridden).
 """
 
 from __future__ import annotations
+
+import os
+import threading
 
 from repro.crypto.base import BlockCipher
 from repro.exceptions import KeyError_, MessageRangeError
@@ -207,6 +224,241 @@ def _rotate28(value: int, amount: int) -> int:
     return ((value << amount) | (value >> (28 - amount))) & 0xFFFFFFF
 
 
+#: Times the 16-round key schedule has been derived since import.  The
+#: regression tests assert this grows once per key object -- never per
+#: block -- so a chaining mode streaming ten thousand blocks through one
+#: key costs exactly one derivation.  Lock-guarded: ``+= 1`` on a global
+#: is not atomic, and shards construct DES objects from pool threads.
+_SCHEDULE_DERIVATIONS = 0
+_schedule_lock = threading.Lock()
+
+
+def _reset_schedule_lock_after_fork() -> None:
+    # A forked child (the cluster's process executor) inherits this lock
+    # in whatever state some *other* parent thread held it; its first
+    # DES construction would then deadlock.  The child is single-threaded
+    # at birth, so a fresh lock is always the correct state.
+    global _schedule_lock
+    _schedule_lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only, like fork itself
+    os.register_at_fork(after_in_child=_reset_schedule_lock_after_fork)
+
+
+def schedule_derivations() -> int:
+    """How many key schedules have been derived process-wide."""
+    with _schedule_lock:
+        return _SCHEDULE_DERIVATIONS
+
+
+def _key_schedule(key64: int) -> tuple[int, ...]:
+    """Derive the sixteen 48-bit round subkeys (PC-1, rotations, PC-2)."""
+    global _SCHEDULE_DERIVATIONS
+    with _schedule_lock:
+        _SCHEDULE_DERIVATIONS += 1
+    cd = _permute(key64, 64, _PC1)
+    c = cd >> 28
+    d = cd & 0xFFFFFFF
+    subkeys = []
+    for shift in _ROTATIONS:
+        c = _rotate28(c, shift)
+        d = _rotate28(d, shift)
+        subkeys.append(_permute((c << 28) | d, 56, _PC2))
+    return tuple(subkeys)
+
+
+# --------------------------------------------------------------------------
+# Kernels: two computations of the same cipher.
+# --------------------------------------------------------------------------
+
+
+class ReferenceDESKernel:
+    """Clarity-first kernel: every permutation applied bit by bit.
+
+    This is the executable specification -- each step reads directly off
+    the FIPS 46 tables via :func:`_permute`, paying ``len(table)`` bit
+    operations per permutation.  The fast kernel must match it byte for
+    byte on every input (asserted by the kernel-parity tests and by
+    benchmark C10).
+    """
+
+    name = "reference"
+
+    @staticmethod
+    def _feistel(right32: int, subkey48: int) -> int:
+        """The f-function exactly as printed: E, key mix, S-boxes, P."""
+        expanded = _permute(right32, 32, _E) ^ subkey48
+        out = 0
+        for i in range(8):
+            chunk = (expanded >> (42 - 6 * i)) & 0x3F
+            row = ((chunk >> 4) & 0b10) | (chunk & 1)
+            col = (chunk >> 1) & 0xF
+            out = (out << 4) | _SBOXES[i][row * 16 + col]
+        return _permute(out, 32, _P)
+
+    @classmethod
+    def crypt_block(cls, block64: int, subkeys: tuple[int, ...]) -> int:
+        block64 = _permute(block64, 64, _IP)
+        left = block64 >> 32
+        right = block64 & 0xFFFFFFFF
+        for subkey in subkeys:
+            left, right = right, left ^ cls._feistel(right, subkey)
+        # Final swap: the last round's halves are exchanged before FP.
+        return _permute((right << 32) | left, 64, _FP)
+
+    @classmethod
+    def crypt_blocks(cls, data: bytes, subkeys: tuple[int, ...]) -> bytes:
+        out = bytearray(len(data))
+        for off in range(0, len(data), 8):
+            value = cls.crypt_block(int.from_bytes(data[off : off + 8], "big"), subkeys)
+            out[off : off + 8] = value.to_bytes(8, "big")
+        return bytes(out)
+
+
+class FastDESKernel:
+    """LUT kernel: byte-wide IP/FP/E tables and fused SP boxes.
+
+    :meth:`crypt_blocks` is the throughput path -- one Python call per
+    *buffer* rather than per block, with every table bound to a local
+    and the round function inlined into the block loop.  Benchmark C10
+    measures the resulting blocks/sec against the reference kernel.
+    """
+
+    name = "fast"
+
+    @staticmethod
+    def crypt_block(block64: int, subkeys: tuple[int, ...]) -> int:
+        ip0, ip1, ip2, ip3, ip4, ip5, ip6, ip7 = _IP_LUT
+        fp0, fp1, fp2, fp3, fp4, fp5, fp6, fp7 = _FP_LUT
+        e0, e1, e2, e3 = _E_LUT
+        sp0, sp1, sp2, sp3, sp4, sp5, sp6, sp7 = _SP
+        v = (
+            ip0[(block64 >> 56) & 0xFF]
+            | ip1[(block64 >> 48) & 0xFF]
+            | ip2[(block64 >> 40) & 0xFF]
+            | ip3[(block64 >> 32) & 0xFF]
+            | ip4[(block64 >> 24) & 0xFF]
+            | ip5[(block64 >> 16) & 0xFF]
+            | ip6[(block64 >> 8) & 0xFF]
+            | ip7[block64 & 0xFF]
+        )
+        left = v >> 32
+        right = v & 0xFFFFFFFF
+        for subkey in subkeys:
+            x = (
+                e0[(right >> 24) & 0xFF]
+                | e1[(right >> 16) & 0xFF]
+                | e2[(right >> 8) & 0xFF]
+                | e3[right & 0xFF]
+            ) ^ subkey
+            left, right = right, left ^ (
+                sp0[(x >> 42) & 0x3F]
+                | sp1[(x >> 36) & 0x3F]
+                | sp2[(x >> 30) & 0x3F]
+                | sp3[(x >> 24) & 0x3F]
+                | sp4[(x >> 18) & 0x3F]
+                | sp5[(x >> 12) & 0x3F]
+                | sp6[(x >> 6) & 0x3F]
+                | sp7[x & 0x3F]
+            )
+        # Final swap: the last round's halves are exchanged before FP.
+        v = (right << 32) | left
+        return (
+            fp0[(v >> 56) & 0xFF]
+            | fp1[(v >> 48) & 0xFF]
+            | fp2[(v >> 40) & 0xFF]
+            | fp3[(v >> 32) & 0xFF]
+            | fp4[(v >> 24) & 0xFF]
+            | fp5[(v >> 16) & 0xFF]
+            | fp6[(v >> 8) & 0xFF]
+            | fp7[v & 0xFF]
+        )
+
+    @staticmethod
+    def crypt_blocks(data: bytes, subkeys: tuple[int, ...]) -> bytes:
+        ip0, ip1, ip2, ip3, ip4, ip5, ip6, ip7 = _IP_LUT
+        fp0, fp1, fp2, fp3, fp4, fp5, fp6, fp7 = _FP_LUT
+        e0, e1, e2, e3 = _E_LUT
+        sp0, sp1, sp2, sp3, sp4, sp5, sp6, sp7 = _SP
+        from_bytes = int.from_bytes
+        out = bytearray(len(data))
+        for off in range(0, len(data), 8):
+            v = from_bytes(data[off : off + 8], "big")
+            v = (
+                ip0[(v >> 56) & 0xFF]
+                | ip1[(v >> 48) & 0xFF]
+                | ip2[(v >> 40) & 0xFF]
+                | ip3[(v >> 32) & 0xFF]
+                | ip4[(v >> 24) & 0xFF]
+                | ip5[(v >> 16) & 0xFF]
+                | ip6[(v >> 8) & 0xFF]
+                | ip7[v & 0xFF]
+            )
+            left = v >> 32
+            right = v & 0xFFFFFFFF
+            for subkey in subkeys:
+                x = (
+                    e0[(right >> 24) & 0xFF]
+                    | e1[(right >> 16) & 0xFF]
+                    | e2[(right >> 8) & 0xFF]
+                    | e3[right & 0xFF]
+                ) ^ subkey
+                left, right = right, left ^ (
+                    sp0[(x >> 42) & 0x3F]
+                    | sp1[(x >> 36) & 0x3F]
+                    | sp2[(x >> 30) & 0x3F]
+                    | sp3[(x >> 24) & 0x3F]
+                    | sp4[(x >> 18) & 0x3F]
+                    | sp5[(x >> 12) & 0x3F]
+                    | sp6[(x >> 6) & 0x3F]
+                    | sp7[x & 0x3F]
+                )
+            v = (right << 32) | left
+            v = (
+                fp0[(v >> 56) & 0xFF]
+                | fp1[(v >> 48) & 0xFF]
+                | fp2[(v >> 40) & 0xFF]
+                | fp3[(v >> 32) & 0xFF]
+                | fp4[(v >> 24) & 0xFF]
+                | fp5[(v >> 16) & 0xFF]
+                | fp6[(v >> 8) & 0xFF]
+                | fp7[v & 0xFF]
+            )
+            out[off : off + 8] = v.to_bytes(8, "big")
+        return bytes(out)
+
+
+_KERNELS = {
+    ReferenceDESKernel.name: ReferenceDESKernel,
+    FastDESKernel.name: FastDESKernel,
+}
+
+_default_kernel = os.environ.get("REPRO_DES_KERNEL", FastDESKernel.name)
+if _default_kernel not in _KERNELS:  # fail at import, not first encryption
+    raise KeyError_(
+        f"REPRO_DES_KERNEL must be one of {sorted(_KERNELS)}, got {_default_kernel!r}"
+    )
+
+
+def default_kernel() -> str:
+    """The kernel new :class:`DES` objects use when ``kernel=None``."""
+    return _default_kernel
+
+
+def set_default_kernel(name: str) -> str:
+    """Set the process-wide default kernel; returns the previous one.
+
+    Existing :class:`DES` objects keep the kernel they were built with.
+    """
+    global _default_kernel
+    if name not in _KERNELS:
+        raise KeyError_(f"kernel must be one of {sorted(_KERNELS)}, got {name!r}")
+    previous = _default_kernel
+    _default_kernel = name
+    return previous
+
+
 class DES(BlockCipher):
     """FIPS-46 DES over 8-byte blocks.
 
@@ -216,17 +468,36 @@ class DES(BlockCipher):
         The 8-byte DES key.  Parity bits are *not* checked by default
         (most software implementations ignore them); pass
         ``enforce_parity=True`` to require odd parity per byte.
+    kernel:
+        ``"fast"`` or ``"reference"``; ``None`` (default) uses the
+        process-wide default (see :func:`set_default_kernel`).  Both
+        kernels produce byte-identical ciphertext.
     """
 
     block_size = 8
 
-    def __init__(self, key: bytes, enforce_parity: bool = False) -> None:
+    def __init__(
+        self,
+        key: bytes,
+        enforce_parity: bool = False,
+        kernel: str | None = None,
+    ) -> None:
         if len(key) != 8:
             raise KeyError_(f"DES key must be 8 bytes, got {len(key)}")
         if enforce_parity and not self.has_odd_parity(key):
             raise KeyError_("DES key fails odd-parity check")
+        name = _default_kernel if kernel is None else kernel
+        if name not in _KERNELS:
+            raise KeyError_(f"kernel must be one of {sorted(_KERNELS)}, got {name!r}")
         self.key = key
-        self._subkeys = self._key_schedule(int.from_bytes(key, "big"))
+        self.kernel = name
+        self._kernel = _KERNELS[name]
+        # Both directions of the schedule, derived once per key object:
+        # decryption runs the same rounds with the subkeys reversed, and
+        # re-reversing (or re-deriving) per block is the classic
+        # per-block overhead benchmark C10 eliminates.
+        self._subkeys = _key_schedule(int.from_bytes(key, "big"))
+        self._subkeys_dec = self._subkeys[::-1]
 
     # -- key schedule ------------------------------------------------------
 
@@ -246,80 +517,37 @@ class DES(BlockCipher):
                 fixed.append(b & 0xFE)
         return bytes(fixed)
 
-    @staticmethod
-    def _key_schedule(key64: int) -> tuple[int, ...]:
-        """Derive the sixteen 48-bit round subkeys."""
-        cd = _permute(key64, 64, _PC1)
-        c = cd >> 28
-        d = cd & 0xFFFFFFF
-        subkeys = []
-        for shift in _ROTATIONS:
-            c = _rotate28(c, shift)
-            d = _rotate28(d, shift)
-            subkeys.append(_permute((c << 28) | d, 56, _PC2))
-        return tuple(subkeys)
-
-    # -- round function ----------------------------------------------------
-
-    @staticmethod
-    def _feistel(right32: int, subkey48: int) -> int:
-        """The DES f-function via byte-LUT expansion and fused SP boxes."""
-        e = _E_LUT
-        x = (
-            e[0][(right32 >> 24) & 0xFF]
-            | e[1][(right32 >> 16) & 0xFF]
-            | e[2][(right32 >> 8) & 0xFF]
-            | e[3][right32 & 0xFF]
-        ) ^ subkey48
-        sp = _SP
-        return (
-            sp[0][(x >> 42) & 0x3F]
-            | sp[1][(x >> 36) & 0x3F]
-            | sp[2][(x >> 30) & 0x3F]
-            | sp[3][(x >> 24) & 0x3F]
-            | sp[4][(x >> 18) & 0x3F]
-            | sp[5][(x >> 12) & 0x3F]
-            | sp[6][(x >> 6) & 0x3F]
-            | sp[7][x & 0x3F]
-        )
-
-    @staticmethod
-    def _apply64(luts: list[list[int]], value: int) -> int:
-        return (
-            luts[0][(value >> 56) & 0xFF]
-            | luts[1][(value >> 48) & 0xFF]
-            | luts[2][(value >> 40) & 0xFF]
-            | luts[3][(value >> 32) & 0xFF]
-            | luts[4][(value >> 24) & 0xFF]
-            | luts[5][(value >> 16) & 0xFF]
-            | luts[6][(value >> 8) & 0xFF]
-            | luts[7][value & 0xFF]
-        )
-
-    def _crypt_block(self, block64: int, subkeys: tuple[int, ...]) -> int:
-        block64 = self._apply64(_IP_LUT, block64)
-        left = block64 >> 32
-        right = block64 & 0xFFFFFFFF
-        feistel = self._feistel
-        for subkey in subkeys:
-            left, right = right, left ^ feistel(right, subkey)
-        # Final swap: the last round's halves are exchanged before FP.
-        return self._apply64(_FP_LUT, (right << 32) | left)
-
     # -- public API --------------------------------------------------------
 
     def encrypt_block(self, block: bytes) -> bytes:
         """Encrypt one 8-byte block."""
         if len(block) != 8:
             raise MessageRangeError(f"DES block must be 8 bytes, got {len(block)}")
-        value = self._crypt_block(int.from_bytes(block, "big"), self._subkeys)
+        value = self._kernel.crypt_block(int.from_bytes(block, "big"), self._subkeys)
         return value.to_bytes(8, "big")
 
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt one 8-byte block."""
         if len(block) != 8:
             raise MessageRangeError(f"DES block must be 8 bytes, got {len(block)}")
-        value = self._crypt_block(
-            int.from_bytes(block, "big"), self._subkeys[::-1]
+        value = self._kernel.crypt_block(
+            int.from_bytes(block, "big"), self._subkeys_dec
         )
         return value.to_bytes(8, "big")
+
+    # -- bulk API ----------------------------------------------------------
+
+    def encrypt_blocks(self, blocks) -> bytes:
+        """Encrypt a whole buffer (or sequence) of 8-byte blocks in ECB.
+
+        One Python call for the entire buffer: the kernel's block loop
+        runs with its tables and schedule in locals, which is where the
+        bulk path's throughput advantage over per-block calls comes
+        from.  Chaining (CBC/OFB) is layered above in
+        :mod:`repro.crypto.modes` / :mod:`repro.crypto.stream`.
+        """
+        return self._kernel.crypt_blocks(self._as_buffer(blocks), self._subkeys)
+
+    def decrypt_blocks(self, blocks) -> bytes:
+        """Decrypt a whole buffer (or sequence) of 8-byte blocks in ECB."""
+        return self._kernel.crypt_blocks(self._as_buffer(blocks), self._subkeys_dec)

@@ -38,18 +38,28 @@ class ProgressiveCipher:
         self.nonce = nonce
 
     def _keystream(self, length: int) -> bytes:
-        out = bytearray()
+        """The first ``length`` keystream bytes, via one bulk encryption.
+
+        The counter blocks are assembled first and pushed through the
+        cipher's bulk path in a single call, so generating a page-sized
+        keystream costs one Python call rather than one per block.
+        """
+        num_blocks = (length + 7) // 8
+        counters = bytearray()
         counter = self.nonce
-        while len(out) < length:
-            block = counter.to_bytes(8, "big", signed=False)
-            out.extend(self._des.encrypt_block(block))
+        for _ in range(num_blocks):
+            counters.extend(counter.to_bytes(8, "big", signed=False))
             counter = (counter + 1) % (1 << 64)
-        return bytes(out[:length])
+        return self._des.encrypt_blocks(bytes(counters))[:length]
 
     def encrypt(self, plaintext: bytes) -> bytes:
         """XOR the plaintext with the keystream (length-preserving)."""
+        if not plaintext:
+            return b""
         stream = self._keystream(len(plaintext))
-        return bytes(p ^ s for p, s in zip(plaintext, stream))
+        return (
+            int.from_bytes(plaintext, "big") ^ int.from_bytes(stream, "big")
+        ).to_bytes(len(plaintext), "big")
 
     def decrypt(self, ciphertext: bytes) -> bytes:
         """Stream ciphers are an involution: decrypt == encrypt."""

@@ -156,6 +156,37 @@ class SimulatedDisk:
             self.stats.bytes_read += len(stored)
         return self.transform.on_read(block_id, stored) if self.transform else stored
 
+    # -- whole-platter state (process-executor support) ------------------
+
+    def export_state(self) -> list[bytes | None]:
+        """Every block slot -- written or not -- in platter order.
+
+        A state *transfer*, not I/O: neither the statistics nor the
+        transform are touched (the bytes are already at rest).  Feed the
+        result to :meth:`import_state` on a device with the same block
+        size and transform to clone the platter, e.g. into a process-pool
+        worker's private copy of a shard.
+        """
+        with self._lock:
+            return list(self._blocks)
+
+    def import_state(self, blocks: list[bytes | None]) -> None:
+        """Replace the entire platter with :meth:`export_state` output.
+
+        Like :meth:`export_state` this is a state transfer: statistics
+        are untouched, and oversized blocks are rejected exactly as a
+        physical write would reject them.
+        """
+        for block_id, data in enumerate(blocks):
+            if data is not None and len(data) > self.block_size:
+                raise BlockBoundsError(
+                    f"imported payload of {len(data)} bytes overflows "
+                    f"{self.block_size}-byte block",
+                    block_id=block_id,
+                )
+        with self._lock:
+            self._blocks = list(blocks)
+
     # -- the attacker's view ---------------------------------------------
 
     def raw_block(self, block_id: int) -> bytes:
