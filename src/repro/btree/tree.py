@@ -222,6 +222,36 @@ class BTree:
                 return view.key_at(0 if leftmost else view.num_keys - 1)
             node_id = view.child_at(0 if leftmost else view.num_keys)
 
+    # -- cache warming ---------------------------------------------------
+
+    def warm(self, levels: int = 2) -> int:
+        """Pre-decode the top ``levels`` of the tree; returns nodes touched.
+
+        A breadth-first walk through :meth:`Pager.read_decoded`, so with
+        the decoded-node cache enabled the root's neighbourhood is
+        resident before organic traffic arrives (and with it disabled,
+        the raw block cache still warms).  This is explicit maintenance
+        work: node visits, pointer decryptions and comparisons are
+        counted like any traversal -- prefetch is not free, it is early.
+        """
+        if levels <= 0:
+            return 0
+        warmed = 0
+        frontier = [self.root_id]
+        for depth in range(levels):
+            children: list[int] = []
+            for node_id in frontier:
+                view = self._view(node_id)
+                warmed += 1
+                if not view.is_leaf and depth + 1 < levels:
+                    children.extend(
+                        view.child_at(i) for i in range(view.num_keys + 1)
+                    )
+            frontier = children
+            if not frontier:
+                break
+        return warmed
+
     # -- state snapshots (transaction support) ---------------------------
 
     def snapshot_state(self) -> tuple[int, int, list[int]]:

@@ -16,12 +16,21 @@ This module supplies the cluster's ``executor="processes"`` backend:
   request/reply over a pipe, serving ``range_search`` / ``get_many`` /
   ``bulk_load`` / ``stats`` against its private copy.
 * :class:`ProcessShardExecutor` -- the parent-side coordinator.  It
-  ships each shard's spec lazily and re-ships only when the parent's
+  ships each shard's spec lazily and re-syncs only when the parent's
   copy has changed (an *epoch* counter bumped by every cluster-level
   mutation), merges worker-side operation counters back into the
   cluster's statistics (the security cost model must count every
   decryption, wherever it ran), and installs the state a worker's
   ``bulk_load`` produced back into the parent's shard objects.
+
+A re-sync is *incremental* by default: the shard's change journals
+(:mod:`repro.storage.journal`) record which node/record blocks mutated
+per epoch, and a stale worker receives a
+:class:`~repro.storage.journal.ShardDelta` -- just those blocks'
+at-rest bytes plus the small metadata -- instead of the whole platter.
+The full ship survives as the fallback (first contact, respawned
+worker after a crash, journal truncated past the worker's epoch) and as
+the measurable baseline (``delta_sync=False``, benchmark C11).
 
 Two sources of truth are avoided by construction: the parent's shards
 remain authoritative; a worker holds a *replica* that is re-synced by
@@ -83,6 +92,15 @@ class ShardSpec:
     decoded_node_cache_blocks: int
     decoded_node_cache_bytes: int
 
+    @property
+    def payload_bytes(self) -> int:
+        """Platter bytes this full ship moves (the C11 baseline metric)."""
+        node = sum(len(b) for b in self.node_blocks if b is not None)
+        records = sum(
+            len(b) for b in self.record_state["blocks"] if b is not None
+        )
+        return node + records
+
     def open(self) -> EncipheredDatabase:
         """Rebuild the shard from this spec (cold caches, fresh counters)."""
         disk = SimulatedDisk(block_size=self.node_block_size)
@@ -105,6 +123,7 @@ def spec_from_shard(
     index: int,
     substitution_factory: Callable[[int], KeySubstitution],
     pointer_cipher_factory: Callable[[int], IntegerCipher],
+    checkpoint_epoch: int | None = None,
 ) -> ShardSpec:
     """Capture a parent shard's current durable state as a spec.
 
@@ -114,6 +133,12 @@ def spec_from_shard(
     break rollback semantics.  The cluster routes fan-outs over
     uncommitted shards to the in-process backends instead, so this
     guard only trips on direct misuse.
+
+    ``checkpoint_epoch`` marks this snapshot in the shard's change
+    journals (under the same read lock, so the snapshot and the
+    truncation see the same state): history at or before it is subsumed
+    by the full ship and dropped, and later syncs can resume shipping
+    deltas from this point.
     """
     with shard.lock.read_locked():
         # checked under the lock: an autocommit writer dirties pages
@@ -128,6 +153,8 @@ def spec_from_shard(
                 f"shard {index} has uncommitted state; commit before "
                 "shipping it to a process worker"
             )
+        if checkpoint_epoch is not None:
+            shard.truncate_journals(checkpoint_epoch)
         return ShardSpec(
             index=index,
             substitution_factory=substitution_factory,
@@ -173,6 +200,14 @@ def _shard_worker(conn) -> None:
                 # the baseline the parent subtracts: whatever reopen's
                 # superblock check and verification walk just counted
                 conn.send(("ok", db.stats()))
+            elif op == "delta":
+                # a targeted catch-up of the live replica; applying is a
+                # pure state transfer (no cipher, no I/O counters), and
+                # the parent re-baselines on the returned stats anyway
+                db.apply_delta(payload)
+                conn.send(("ok", db.stats()))
+            elif op == "warm":
+                conn.send(("ok", db.warm(payload)))
             elif op == "range_search":
                 conn.send(("ok", db.range_search(*payload)))
             elif op == "get_many":
@@ -230,9 +265,25 @@ class ProcessShardExecutor:
         substitution_factory: Callable[[int], KeySubstitution],
         pointer_cipher_factory: Callable[[int], IntegerCipher],
         num_shards: int,
+        delta_sync: bool = True,
     ) -> None:
         self._substitution_factory = substitution_factory
         self._pointer_cipher_factory = pointer_cipher_factory
+        #: When True (default), a stale worker is caught up by shipping
+        #: only the blocks its shard's journals prove changed; False
+        #: forces the PR-4 behaviour (full state re-ship on every epoch
+        #: mismatch) -- the baseline arm of benchmark C11.
+        self.delta_sync = delta_sync
+        #: Ship accounting for benchmark C11 and ``cluster.sync_stats()``:
+        #: how many syncs went full vs delta, and the platter bytes moved
+        #: by each kind.
+        self.sync_stats = {
+            "full_ships": 0,
+            "delta_ships": 0,
+            "full_bytes": 0,
+            "delta_bytes": 0,
+            "delta_blocks": 0,
+        }
         try:
             self._mp = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -289,22 +340,47 @@ class ProcessShardExecutor:
         self._base[index] = None
 
     def sync(self, index: int, shard: EncipheredDatabase, epoch: int) -> None:
-        """Make worker ``index`` hold the parent's current shard state."""
+        """Make worker ``index`` hold the parent's current shard state.
+
+        A worker that already holds *some* epoch is caught up with a
+        :class:`~repro.storage.journal.ShardDelta` -- only the blocks
+        the shard's journals sealed since that epoch, O(changes) instead
+        of O(database) -- when ``delta_sync`` is on and the journals can
+        prove completeness.  Everything else (first contact, respawned
+        worker, truncated journal, uncommitted parent state) takes the
+        full-spec path, whose own guards still apply.
+        """
         with self._dispatch_lock:
             self._ensure_worker(index)
             if self.epochs_sent[index] == epoch:
                 return
-            self.harvest(index)  # the dying replica's work must keep counting
-            spec = spec_from_shard(
-                shard, index, self._substitution_factory, self._pointer_cipher_factory
-            )
-            try:
-                self._base[index] = self._request(index, "open", spec)
-            except (pickle.PicklingError, AttributeError, TypeError) as exc:
-                raise StorageError(
-                    "executor='processes' requires picklable substitution and "
-                    f"pointer-cipher factories (module-level functions): {exc}"
-                ) from exc
+            self.harvest(index)  # the stale replica's work must keep counting
+            delta = None
+            if self.delta_sync and self.epochs_sent[index] >= 0:
+                delta = shard.collect_delta(self.epochs_sent[index], epoch)
+            if delta is not None:
+                delta.index = index
+                self._base[index] = self._request(index, "delta", delta)
+                self.sync_stats["delta_ships"] += 1
+                self.sync_stats["delta_bytes"] += delta.payload_bytes
+                self.sync_stats["delta_blocks"] += delta.blocks_shipped
+            else:
+                spec = spec_from_shard(
+                    shard,
+                    index,
+                    self._substitution_factory,
+                    self._pointer_cipher_factory,
+                    checkpoint_epoch=epoch if self.delta_sync else None,
+                )
+                try:
+                    self._base[index] = self._request(index, "open", spec)
+                except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                    raise StorageError(
+                        "executor='processes' requires picklable substitution and "
+                        f"pointer-cipher factories (module-level functions): {exc}"
+                    ) from exc
+                self.sync_stats["full_ships"] += 1
+                self.sync_stats["full_bytes"] += spec.payload_bytes
             self.epochs_sent[index] = epoch
 
     # -- fan-out ---------------------------------------------------------

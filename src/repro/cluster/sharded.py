@@ -112,6 +112,7 @@ class ShardedEncipheredDatabase:
         max_workers: int | None = None,
         executor: str = "threads",
         shard_factories: tuple | None = None,
+        delta_sync: bool = True,
     ) -> None:
         if not shards:
             raise StorageError("a cluster needs at least one shard")
@@ -137,9 +138,15 @@ class ShardedEncipheredDatabase:
         self._executor_lock = threading.Lock()
         self._txn_thread: int | None = None
         # Process-backend replica consistency: each cluster-level
-        # mutation bumps the touched shards' epochs, and a worker whose
-        # spec predates the epoch is re-shipped before serving.
+        # mutation bumps the touched shards' epochs (sealing the shard's
+        # change journals under the new number), and a worker whose
+        # replica predates the epoch is caught up -- incrementally when
+        # the journals can serve a delta, by full re-ship otherwise.
         self._shard_epochs = [0] * len(self.shards)
+        # one mutex per shard making "seal journals, then publish the
+        # new epoch" atomic against sibling writers (see _note_writes)
+        self._epoch_locks = [threading.Lock() for _ in self.shards]
+        self._delta_sync = delta_sync
         self._procs: ProcessShardExecutor | None = None
 
     # -- lifecycle -------------------------------------------------------
@@ -165,6 +172,7 @@ class ShardedEncipheredDatabase:
         decoded_node_cache_blocks: int = 0,
         decoded_node_cache_bytes: int = 0,
         executor: str = "threads",
+        delta_sync: bool = True,
     ) -> "ShardedEncipheredDatabase":
         """Initialise ``num_shards`` fresh shards with derived secrets.
 
@@ -178,6 +186,10 @@ class ShardedEncipheredDatabase:
         ``executor`` selects the fan-out backend (``"serial"``,
         ``"threads"``, ``"processes"``); the process backend requires
         both factories to be picklable module-level functions.
+        ``delta_sync`` (default on) lets stale worker replicas catch up
+        incrementally -- only journal-proven changed blocks ship;
+        ``False`` restores the full-state re-ship on every parent write,
+        which benchmark C11 uses as its baseline arm.
         """
         substitutions = [substitution_factory(i) for i in range(num_shards)]
         shards = [
@@ -205,6 +217,7 @@ class ShardedEncipheredDatabase:
             max_workers=max_workers,
             executor=executor,
             shard_factories=(substitution_factory, pointer_cipher_factory),
+            delta_sync=delta_sync,
         )
 
     @classmethod
@@ -225,6 +238,7 @@ class ShardedEncipheredDatabase:
         decoded_node_cache_bytes: int = 0,
         validate_routing: bool = True,
         executor: str = "threads",
+        delta_sync: bool = True,
     ) -> "ShardedEncipheredDatabase":
         """Rebuild a cluster from each shard's platters and the secrets.
 
@@ -274,6 +288,7 @@ class ShardedEncipheredDatabase:
             max_workers=max_workers,
             executor=executor,
             shard_factories=(substitution_factory, pointer_cipher_factory),
+            delta_sync=delta_sync,
         )
 
     @staticmethod
@@ -331,7 +346,10 @@ class ShardedEncipheredDatabase:
             if self._procs is None:
                 substitution_factory, pointer_cipher_factory = self._shard_factories
                 self._procs = ProcessShardExecutor(
-                    substitution_factory, pointer_cipher_factory, len(self.shards)
+                    substitution_factory,
+                    pointer_cipher_factory,
+                    len(self.shards),
+                    delta_sync=self._delta_sync,
                 )
             return self._procs
 
@@ -362,9 +380,46 @@ class ShardedEncipheredDatabase:
         )
 
     def _note_writes(self, shard_ids: Iterable[int]) -> None:
-        """Record that the listed shards' durable state changed."""
+        """Record that the listed shards' durable state changed.
+
+        Bumping a shard's epoch and *sealing* its change journals under
+        the new number are one operation: the sealed sets are what a
+        later delta sync ships to a worker replica holding an older
+        epoch.
+
+        Inside this cluster's :meth:`transaction` the call is a no-op:
+        nothing is committed yet, sealing would split the transaction's
+        bytes across an epoch boundary, and the transaction's own exit
+        seals exactly the shards whose committed bytes changed -- so a
+        rolled-back scope full of batched writes still re-ships nothing.
+        """
+        if threading.get_ident() == self._txn_thread:
+            return
         for shard_id in shard_ids:
-            self._shard_epochs[shard_id] += 1
+            with self._epoch_locks[shard_id]:
+                # seal BEFORE publishing the bump: a concurrent reader's
+                # sync that observes the new epoch number must find the
+                # epoch's changes already sealed, or it would ship an
+                # empty delta stamped with a tree state the worker's
+                # blocks cannot support.  The per-shard mutex also keeps
+                # two racing writers from publishing the same epoch
+                # number (each seal gets a distinct, ordered epoch).
+                epoch = self._shard_epochs[shard_id] + 1
+                self.shards[shard_id].seal_changes(epoch)
+                self._shard_epochs[shard_id] = epoch
+
+    def _note_changed_writes(self, shard_ids: Iterable[int]) -> None:
+        """Like :meth:`_note_writes`, but only where bytes truly changed.
+
+        The journals make "did committed platter bytes change?" cheap to
+        answer, so rolled-back and no-op transactions skip the epoch
+        bump entirely -- worker replicas stay valid and nothing
+        re-ships.  (A rollback that freed record slots *did* change
+        bytes and still bumps -- but only on the shards it touched.)
+        """
+        self._note_writes(
+            [i for i in shard_ids if self.shards[i].has_unsealed_changes]
+        )
 
     def close(self) -> None:
         """Commit every shard and release the worker threads/processes."""
@@ -391,6 +446,15 @@ class ShardedEncipheredDatabase:
         threads) could never acquire the read side of -- so the fan-out
         degrades to a serial loop on the calling thread instead of
         deadlocking the pool.
+
+        Every task is awaited even when one errors (the first error is
+        re-raised after the drain).  Callers' cleanup relies on this: a
+        mutating fan-out (``put_many``, ``bulk_load``) seals the touched
+        shards' change journals in a ``finally``, and sealing while a
+        sibling shard's transaction is still running on a pool thread
+        would split that shard's commit across an epoch boundary --
+        stranding the post-seal bytes in the journal's open set, where
+        no delta sync would ever ship them.
         """
         if (
             self.executor == "serial"
@@ -398,7 +462,19 @@ class ShardedEncipheredDatabase:
             or threading.get_ident() == self._txn_thread
         ):
             return [fn(i) for i in shard_ids]
-        return list(self._pool().map(fn, shard_ids))
+        futures = [self._pool().submit(fn, i) for i in shard_ids]
+        results: list[object] = []
+        first_error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
 
     # -- single-key operations (routed, no fan-out) ----------------------
 
@@ -564,18 +640,102 @@ class ShardedEncipheredDatabase:
                     shard.disk.import_state(node_blocks)
                     shard.records.import_state(record_state)
                     shard.tree.restore_state(tree_state)
+                    # the worker already holds exactly this state: bump
+                    # the epoch and mark it shipped, so the next read
+                    # skips the re-sync.  The install tainted the
+                    # journals (wholesale import); sealing here
+                    # re-checkpoints them at the new epoch, so later
+                    # mutations ship as deltas.  Still under the shard
+                    # write lock: the taint-then-checkpoint pair must
+                    # not interleave with a racing writer's notes, or
+                    # that writer's block ids would be discarded by the
+                    # checkpoint while its epoch claims them shipped.
+                    self._note_writes((shard_id,))
+                    procs.epochs_sent[shard_id] = self._shard_epochs[shard_id]
                 procs.rebase(shard_id, stats_after)
-                # the worker already holds exactly this state: bump the
-                # epoch and mark it shipped, so the next read skips the
-                # re-sync
-                self._shard_epochs[shard_id] += 1
-                procs.epochs_sent[shard_id] = self._shard_epochs[shard_id]
         except BaseException:
             # a sibling shard failed (or an install threw): workers that
             # already loaded their slice now diverge from the parent, so
             # force a re-ship before any of them serves again
             procs.invalidate(loaded)
             raise
+
+    # -- batched mutations ------------------------------------------------
+
+    def put_many(self, items: Iterable[tuple[int, bytes]]) -> int:
+        """Insert a batch of ``(key, record)`` pairs, grouped per shard.
+
+        Each shard receives its whole slice under **one** write-lock
+        acquisition, one commit and one epoch bump
+        (:meth:`EncipheredDatabase.put_many`), so a burst of k writes
+        triggers one replica delta ship per touched shard instead of k
+        re-syncs.  Shards are loaded in parallel on the thread fan-out
+        (mutations always run parent-side, whatever the executor).
+
+        Atomicity is *per shard*: a failing slice (duplicate key,
+        oversized record) rolls its own shard back, but sibling shards
+        that already committed stay committed -- the same contract as
+        :meth:`bulk_load`.  Returns the number of pairs inserted.
+        """
+        pairs = list(items)
+        if not pairs:
+            return 0
+        partitions = self.router.partition(pairs, key=lambda kv: kv[0])
+        touched = [i for i, part in enumerate(partitions) if part]
+        try:
+            self._fan_out(
+                lambda i: self.shards[i].put_many(partitions[i]), touched
+            )
+        finally:
+            # even on a partial failure: committed shards changed bytes
+            # (bump + seal), the rolled-back shard bumps only if its
+            # rollback left byte changes (freed record slots)
+            self._note_changed_writes(touched)
+        return len(pairs)
+
+    def delete_many(self, keys: Iterable[int]) -> int:
+        """Delete a batch of keys, grouped per shard (see :meth:`put_many`).
+
+        A missing key raises :class:`~repro.exceptions.KeyNotFoundError`
+        and rolls back that shard's whole slice; sibling shards are
+        unaffected.  Returns the number of keys deleted.
+        """
+        key_list = list(keys)
+        if not key_list:
+            return 0
+        partitions = self.router.partition(key_list, key=lambda k: k)
+        touched = [i for i, part in enumerate(partitions) if part]
+        try:
+            self._fan_out(
+                lambda i: self.shards[i].delete_many(partitions[i]), touched
+            )
+        finally:
+            self._note_changed_writes(touched)
+        return len(key_list)
+
+    # -- cache warming ----------------------------------------------------
+
+    def warm(self, levels: int = 2) -> int:
+        """Pre-decode every shard's top tree levels into its node caches.
+
+        Fans out per shard like any read.  With the process backend,
+        live worker replicas are warmed too (after the usual epoch
+        sync), because that is where process-backend queries actually
+        run; their warming work rolls up into ``stats()`` like every
+        other worker-side counter.  Returns the total nodes touched.
+        """
+        shard_ids = list(range(len(self.shards)))
+        warmed = sum(
+            self._fan_out(lambda i: self.shards[i].warm(levels), shard_ids)
+        )
+        if self._use_processes(shard_ids):
+            try:
+                warmed += sum(
+                    self._process_map("warm", shard_ids, [levels] * len(shard_ids))
+                )
+            except UncommittedShardState:
+                pass  # racing writer left dirt: parent-side warm stands
+        return warmed
 
     # -- transactions and durability -------------------------------------
 
@@ -590,16 +750,29 @@ class ShardedEncipheredDatabase:
         operations called inside the scope run serially on this thread
         (see :meth:`_fan_out`).
         """
-        with ExitStack() as stack:
-            for shard in self.shards:
-                stack.enter_context(shard.transaction())
-            self._txn_thread = threading.get_ident()
-            try:
-                yield self
-            finally:
-                self._txn_thread = None
-                # the scope may have touched any shard; replicas re-sync
-                self._note_writes(range(len(self.shards)))
+        committing = False
+        try:
+            with ExitStack() as stack:
+                for shard in self.shards:
+                    stack.enter_context(shard.transaction())
+                self._txn_thread = threading.get_ident()
+                try:
+                    yield self
+                    committing = True  # clean exit: shards commit on unwind
+                finally:
+                    self._txn_thread = None
+        finally:
+            # runs after every shard committed (or rolled back), so the
+            # journals have seen the commit's flush: bump exactly the
+            # shards whose committed bytes changed.  A rolled-back scope
+            # bumps nothing at all -- replicas keep serving the pre-
+            # transaction state, which *is* the logical outcome; the
+            # rollback's only byte changes (freed record slots, which no
+            # tree references) stay in the journals' open sets and ride
+            # along with the next committed epoch.  No-op transactions
+            # are journal-invisible and bump nothing either.
+            if committing:
+                self._note_changed_writes(range(len(self.shards)))
 
     def commit(self) -> None:
         """Make every shard's pending changes durable.
@@ -660,7 +833,23 @@ class ShardedEncipheredDatabase:
             base = shard.stats()
             extras = self._procs.extra_counters(i) if self._procs is not None else []
             per_shard.append(merge_counter_dicts([base, *extras]) if extras else base)
-        return ClusterStats(router=self.router.name, per_shard=per_shard)
+        return ClusterStats(
+            router=self.router.name,
+            per_shard=per_shard,
+            replica_sync=self.sync_stats(),
+        )
+
+    def sync_stats(self) -> dict[str, int] | None:
+        """Replica ship accounting (``None`` until a process sync ran).
+
+        ``full_ships``/``full_bytes`` count whole-platter spec ships,
+        ``delta_ships``/``delta_bytes``/``delta_blocks`` the incremental
+        catch-ups; benchmark C11 derives bytes-shipped-per-write from
+        these.
+        """
+        if self._procs is None:
+            return None
+        return dict(self._procs.sync_stats)
 
     def check_invariants(self) -> None:
         """Verify every shard's B-Tree invariants and router placement."""

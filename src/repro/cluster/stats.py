@@ -49,11 +49,16 @@ class ClusterStats:
     """Point-in-time statistics for a sharded database.
 
     ``per_shard[i]`` is shard ``i``'s full counter rollup;
-    ``aggregate`` is their leaf-wise sum.
+    ``aggregate`` is their leaf-wise sum.  ``replica_sync`` carries the
+    process executor's ship accounting (full vs delta re-syncs and the
+    platter bytes each moved) when that backend has run, ``None``
+    otherwise; it is executor-level state, not a per-shard counter, so
+    it stays outside the leaf-wise merge.
     """
 
     router: str
     per_shard: list[dict[str, object]]
+    replica_sync: dict[str, int] | None = None
 
     @property
     def num_shards(self) -> int:
@@ -127,4 +132,11 @@ class ClusterStats:
             f"record cache {self._hit_rate(agg['record_cache']):.0%}, "
             f"decoded-node cache {self._hit_rate(agg['node_decoded_cache']):.0%}"
         )
+        if self.replica_sync is not None:
+            sync = self.replica_sync
+            lines.append(
+                f"replica sync: {sync['delta_ships']} delta ships "
+                f"({sync['delta_bytes']} B), {sync['full_ships']} full ships "
+                f"({sync['full_bytes']} B)"
+            )
         return "\n".join(lines)

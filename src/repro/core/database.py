@@ -85,16 +85,24 @@ from repro.btree.tree import BTree
 from repro.core.codecs import SubstitutedNodeCodec
 from repro.core.packing import PointerPacking
 from repro.core.records import RecordStore
+from repro.counters import ThreadSafeCounters
 from repro.crypto.base import CountingCipher, IntegerCipher
 from repro.crypto.des import DES
 from repro.crypto.modes import CBCCipher
 from repro.exceptions import CryptoError, IntegrityError, KeyNotFoundError, StorageError
 from repro.storage.disk import SimulatedDisk
+from repro.storage.journal import ShardDelta
 from repro.storage.pager import Pager
 from repro.storage.rwlock import ReadWriteLock
 from repro.substitution.base import KeySubstitution
 
 _MAGIC = b"HSBT1990"
+
+
+class WarmingCounters(ThreadSafeCounters):
+    """Cache-warming work, counted separately from organic traffic."""
+
+    _FIELDS = ("nodes_warmed",)
 
 
 def _counting(pointer_cipher: IntegerCipher) -> CountingCipher:
@@ -146,6 +154,8 @@ class EncipheredDatabase:
         self._txn_record_puts: list[int] = []
         self._txn_record_deletes: list[int] = []
         self._txn_snapshot: tuple[int, int, list[int]] | None = None
+        #: Nodes pre-decoded by :meth:`warm` (reported in :meth:`stats`).
+        self.warming = WarmingCounters()
 
     # -- superblock ------------------------------------------------------
 
@@ -436,6 +446,58 @@ class EncipheredDatabase:
                 self._txn_record_puts.extend(record_id for _, record_id in pairs)
             self._after_mutation()
 
+    def _in_txn_owner(self) -> bool:
+        """True iff the *calling thread* owns an open transaction scope.
+
+        A batch may only join an enclosing transaction it actually owns:
+        a foreign thread observing ``_in_txn`` is merely racing someone
+        else's scope, and must open its own transaction (blocking on the
+        write lock) to keep its all-or-nothing guarantee.  While a
+        transaction is open its owner holds the write lock exclusively,
+        so "this thread holds a side of the lock" identifies the owner
+        exactly.
+        """
+        return self._in_txn and self.lock.held_by_current_thread()
+
+    def put_many(self, items: Iterable[tuple[int, bytes]]) -> int:
+        """Insert a batch of ``(key, record)`` pairs as one atomic unit.
+
+        One write-lock acquisition and one commit for the whole batch --
+        the superblock is re-enciphered once instead of once per key, so
+        a burst of k writes costs one commit's worth of overhead (and,
+        under the cluster's process executor, one replica delta instead
+        of k).  Runs inside :meth:`transaction` semantics: a failure
+        (duplicate key, oversized record) rolls the whole batch back.
+        Called inside an enclosing transaction, the batch simply joins
+        it -- the outer scope owns atomicity and the commit point.
+        Returns the number of pairs inserted.
+        """
+        pairs = list(items)
+        if self._in_txn_owner():
+            for key, record in pairs:
+                self.insert(key, record)
+            return len(pairs)
+        with self.transaction():
+            for key, record in pairs:
+                self.insert(key, record)
+        return len(pairs)
+
+    def delete_many(self, keys: Iterable[int]) -> int:
+        """Delete a batch of keys as one atomic unit (see :meth:`put_many`).
+
+        A missing key raises :class:`KeyNotFoundError` and rolls back
+        the whole batch.  Returns the number of keys deleted.
+        """
+        key_list = list(keys)
+        if self._in_txn_owner():
+            for key in key_list:
+                self.delete(key)
+            return len(key_list)
+        with self.transaction():
+            for key in key_list:
+                self.delete(key)
+        return len(key_list)
+
     def range_search(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
         with self.lock.read_locked():
             return [
@@ -457,7 +519,108 @@ class EncipheredDatabase:
         with self.lock.read_locked():
             return self.tree.size
 
+    # -- incremental replica sync ----------------------------------------
+
+    def seal_changes(self, epoch: int) -> None:
+        """Close every change journal's open set under ``epoch``.
+
+        Called by the owner of the epoch counter (the cluster) right
+        after it bumps the epoch for a committed mutation; the sealed
+        sets are what :meth:`collect_delta` serves to replica consumers.
+        """
+        self.disk.journal.seal(epoch)
+        self.records.seal_changes(epoch)
+
+    def truncate_journals(self, epoch: int) -> None:
+        """The replica consumer holds a full snapshot at ``epoch``."""
+        self.disk.journal.truncate(epoch)
+        self.records.truncate_journals(epoch)
+
+    @property
+    def has_unsealed_changes(self) -> bool:
+        """True when committed platter bytes changed since the last seal.
+
+        No-op commits rewrite the superblock with identical ciphertext
+        and are journal-invisible, so this is a *bytes-changed* test,
+        not a *commit-happened* test -- the distinction that lets the
+        cluster skip epoch bumps (and replica re-syncs) for rolled-back
+        and no-op transactions.
+        """
+        return (
+            self.disk.journal.has_open
+            or self.records.has_unsealed_changes
+        )
+
+    def collect_delta(self, since_epoch: int, epoch: int) -> ShardDelta | None:
+        """Changes a replica at ``since_epoch`` needs to reach ``epoch``.
+
+        Returns ``None`` when no delta can be served -- journals
+        truncated past the consumer's epoch, or uncommitted state
+        (dirty pages, stale superblock) making the platter
+        non-authoritative -- in which case the consumer falls back to a
+        full state ship.  Runs under the read lock: writers are held
+        off, so the node delta, record delta and tree metadata describe
+        one consistent committed state.
+        """
+        with self.lock.read_locked():
+            if self.has_uncommitted_changes:
+                return None
+            if self.has_unsealed_changes:
+                # committed bytes not yet sealed under any epoch (a
+                # sibling writer between its commit and its seal, or a
+                # rollback's freed slots): the tree metadata below would
+                # describe blocks the sealed history cannot ship.  A
+                # full ship -- one consistent platter snapshot -- serves
+                # this sync instead.
+                return None
+            node = self.tree.pager.collect_delta(since_epoch)
+            if node is None:
+                return None
+            records = self.records.collect_delta(since_epoch)
+            if records is None:
+                return None
+            return ShardDelta(
+                index=-1,  # stamped by the executor that owns shard ids
+                epoch=epoch,
+                node=node,
+                records=records,
+                tree_state=self.tree.snapshot_state(),
+            )
+
+    def apply_delta(self, delta: ShardDelta) -> None:
+        """Catch a replica up in place (the consumer half of collect).
+
+        A pure state transfer: at-rest bytes are patched below both
+        ciphers, the tree metadata is installed directly, and every
+        cache level drops exactly the blocks the delta replaced -- no
+        cipher operation, no disk I/O statistics, no counter movement.
+        """
+        with self.lock.write_locked():
+            pager = self.tree.pager
+            pager.discard_dirty()  # replicas hold no work worth keeping
+            self.disk.patch_state(delta.node.num_blocks, delta.node.block_writes)
+            for block_id in delta.node.block_writes:
+                pager.invalidate(block_id)
+            self.records.apply_delta(delta.records)
+            self.tree.restore_state(delta.tree_state)
+            self.has_uncommitted_changes = False
+
     # -- caches ----------------------------------------------------------
+
+    def warm(self, levels: int = 2) -> int:
+        """Pre-decode the root's top ``levels`` into the node caches.
+
+        Closes part of the cold-reopen gap without waiting for organic
+        traffic (benchmark C9 measured warm caches ~28x faster than
+        cold).  The work is honest traversal work -- counted like any
+        read -- and is additionally tallied under ``stats()``'s
+        ``cache_warming`` so operators can see prefetch cost apart from
+        serving cost.  Returns the number of nodes touched.
+        """
+        with self.lock.read_locked():
+            warmed = self.tree.warm(levels)
+        self.warming.bump("nodes_warmed", warmed)
+        return warmed
 
     def cache_config(self) -> dict[str, int]:
         """Capacity (in blocks) of each read-path cache level."""
@@ -536,6 +699,7 @@ class EncipheredDatabase:
                 },
                 "record_cipher": self.records.cipher_counts.snapshot(),
                 "record_cache": self.records.cache.stats.snapshot(),
+                "cache_warming": self.warming.snapshot(),
                 # bytes_cached is a gauge (current footprint under the
                 # byte budget), reported beside the cache's counters
                 "node_decoded_cache": {

@@ -38,6 +38,7 @@ from repro.crypto.modes import CBCCipher
 from repro.exceptions import StorageError
 from repro.storage.cache import LRUCache
 from repro.storage.disk import SimulatedDisk
+from repro.storage.journal import ChangeJournal, DiskDelta, RecordStoreDelta
 
 
 class _RecordBlockTransform:
@@ -102,6 +103,11 @@ class RecordStore:
         self.slot_size = slot
         self._transform = _RecordBlockTransform(data_key)
         self.disk = SimulatedDisk(block_size=block_size, transform=self._transform)
+        #: Mutated record-slot ids since the last seal (``put``/``delete``
+        #: note here); the block-level journal on :attr:`disk` tracks the
+        #: enciphered bytes the sync protocol actually ships, this one
+        #: gives deltas their slot-precise manifest.
+        self.journal = ChangeJournal()
         self.cache = LRUCache(cache_blocks, name="record-plaintext")
         self._open_block: int | None = None
         self._open_slots: list[bytes] = []
@@ -167,12 +173,69 @@ class RecordStore:
             raise StorageError(
                 "record-store state import requires identical geometry and key"
             )
-        self.disk.import_state(state["blocks"])
+        self.disk.import_state(state["blocks"])  # taints the block journal
         self._free = list(state["free"])
         self.count = state["count"]
         self._open_block = state["open_block"]
         self._open_slots = list(state["open_slots"])
+        self.journal.taint()  # slot history described the replaced store
         self.cache.clear()
+
+    # -- incremental replica sync ----------------------------------------
+
+    def seal_changes(self, epoch: int) -> None:
+        """Close both journals' open change sets under ``epoch``."""
+        self.journal.seal(epoch)
+        self.disk.journal.seal(epoch)
+
+    def truncate_journals(self, epoch: int) -> None:
+        """The (single) replica consumer got a full snapshot at ``epoch``."""
+        self.journal.truncate(epoch)
+        self.disk.journal.truncate(epoch)
+
+    @property
+    def has_unsealed_changes(self) -> bool:
+        return self.journal.has_open or self.disk.journal.has_open
+
+    def collect_delta(self, since_epoch: int) -> RecordStoreDelta | None:
+        """Changed enciphered blocks + full slot metadata since an epoch.
+
+        ``None`` when either journal cannot prove completeness back to
+        ``since_epoch`` (the consumer needs a full snapshot).  Bytes are
+        read at rest -- below the record cipher -- at collect time, so a
+        slot rewritten many times ships its final block image once.
+        """
+        changed_blocks = self.disk.journal.collect_since(since_epoch)
+        changed_slots = self.journal.collect_since(since_epoch)
+        if changed_blocks is None or changed_slots is None:
+            return None
+        return RecordStoreDelta(
+            disk=DiskDelta(
+                num_blocks=self.disk.num_blocks,
+                block_writes=self.disk.snapshot_blocks(sorted(changed_blocks)),
+            ),
+            slot_writes=sorted(changed_slots),
+            free=list(self._free),
+            count=self.count,
+            open_block=self._open_block,
+            open_slots=list(self._open_slots),
+        )
+
+    def apply_delta(self, delta: RecordStoreDelta) -> None:
+        """Adopt a delta in place (the replica-side half of collect).
+
+        Patches the enciphered platter, replaces the slot metadata
+        wholesale (it is small and ships complete), and invalidates the
+        plaintext cache for exactly the patched blocks -- cached
+        plaintext must never outlive the bytes it was deciphered from.
+        """
+        self.disk.patch_state(delta.disk.num_blocks, delta.disk.block_writes)
+        self._free = list(delta.free)
+        self.count = delta.count
+        self._open_block = delta.open_block
+        self._open_slots = list(delta.open_slots)
+        for block_id in delta.disk.block_writes:
+            self.cache.invalidate(block_id)
 
     # -- helpers ---------------------------------------------------------
 
@@ -239,6 +302,7 @@ class RecordStore:
             if block_index == self._open_block:
                 self._open_slots[slot] = slots[slot]
             self.count += 1
+            self.journal.note(record_id)
             return record_id
         if self._open_block is None or len(self._open_slots) == self.slots_per_block:
             self._open_block = self.disk.allocate()
@@ -246,7 +310,9 @@ class RecordStore:
         self._open_slots.append(self._encode_slot(record))
         self._flush_open()
         self.count += 1
-        return self._open_block * self.slots_per_block + len(self._open_slots) - 1
+        record_id = self._open_block * self.slots_per_block + len(self._open_slots) - 1
+        self.journal.note(record_id)
+        return record_id
 
     def get(self, record_id: int) -> bytes:
         """Fetch and decipher the record at ``record_id``."""
@@ -278,3 +344,4 @@ class RecordStore:
             self._open_slots[slot] = slots[slot]
         self._free.append(record_id)
         self.count -= 1
+        self.journal.note(record_id)

@@ -15,6 +15,10 @@ physical disk.  This package simulates that boundary:
   *raw* (still-enciphered) blocks, so cryptographic costs stay faithful
   while disk traffic is still realistic, and an opt-in decoded-page
   level for serving paths that may skip redundant re-decryption;
+* :mod:`repro.storage.journal` -- epoch-tagged change journals and the
+  delta wire format behind incremental replica sync (which blocks
+  changed, so a process-pool worker catches up in O(changes) instead of
+  O(database));
 * :mod:`repro.storage.layout` -- triplet/node sizing arithmetic used by
   the storage-overhead experiment (C2);
 * :mod:`repro.storage.rwlock` -- the reader--writer lock the concurrent
@@ -24,6 +28,7 @@ physical disk.  This package simulates that boundary:
 
 from repro.storage.cache import CacheStats, LRUCache
 from repro.storage.disk import BlockTransform, DiskStats, SimulatedDisk
+from repro.storage.journal import ChangeJournal, DiskDelta, RecordStoreDelta, ShardDelta
 from repro.storage.layout import NodeLayout, TripletLayout
 from repro.storage.pager import Pager
 from repro.storage.rwlock import ReadWriteLock
@@ -31,11 +36,15 @@ from repro.storage.rwlock import ReadWriteLock
 __all__ = [
     "BlockTransform",
     "CacheStats",
+    "ChangeJournal",
+    "DiskDelta",
     "DiskStats",
     "LRUCache",
     "NodeLayout",
     "Pager",
     "ReadWriteLock",
+    "RecordStoreDelta",
+    "ShardDelta",
     "SimulatedDisk",
     "TripletLayout",
 ]

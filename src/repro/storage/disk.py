@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from repro.exceptions import BlockBoundsError, StorageError
+from repro.storage.journal import ChangeJournal
 
 
 class BlockTransform(Protocol):
@@ -102,6 +103,12 @@ class SimulatedDisk:
         self.block_size = block_size
         self.transform = transform
         self.stats = DiskStats()
+        #: Ledger of mutated block ids for incremental replica sync; a
+        #: write whose at-rest bytes equal what the platter already held
+        #: is *not* journaled (nothing changed, nothing to ship), which
+        #: is what keeps no-op commits -- identical superblock rewrites
+        #: -- invisible to the sync protocol.
+        self.journal = ChangeJournal()
         self._blocks: list[bytes | None] = []
         self._lock = threading.Lock()
 
@@ -139,6 +146,8 @@ class SimulatedDisk:
         with self._lock:
             if self._blocks[block_id] is not None:
                 self.stats.overwrites += 1
+            if self._blocks[block_id] != stored:
+                self.journal.note(block_id)
             self._blocks[block_id] = stored
             self.stats.writes += 1
             self.stats.bytes_written += len(stored)
@@ -175,7 +184,9 @@ class SimulatedDisk:
 
         Like :meth:`export_state` this is a state transfer: statistics
         are untouched, and oversized blocks are rejected exactly as a
-        physical write would reject them.
+        physical write would reject them.  The change journal is
+        *tainted* -- its history described the replaced platter, so any
+        consumer tracking this device needs a fresh full snapshot.
         """
         for block_id, data in enumerate(blocks):
             if data is not None and len(data) > self.block_size:
@@ -186,6 +197,55 @@ class SimulatedDisk:
                 )
         with self._lock:
             self._blocks = list(blocks)
+        self.journal.taint()
+
+    def snapshot_blocks(self, block_ids) -> dict[int, bytes | None]:
+        """At-rest bytes of the listed blocks (a targeted export).
+
+        Like :meth:`export_state`, a state transfer: no statistics, no
+        transform -- the bytes are already enciphered on the platter.
+        Allocated-but-never-written blocks yield ``None``.
+        """
+        with self._lock:
+            out: dict[int, bytes | None] = {}
+            for block_id in block_ids:
+                if not 0 <= block_id < len(self._blocks):
+                    raise BlockBoundsError(
+                        f"block {block_id} outside device of "
+                        f"{len(self._blocks)} blocks",
+                        block_id=block_id,
+                    )
+                out[block_id] = self._blocks[block_id]
+            return out
+
+    def patch_state(self, num_blocks: int, block_writes: dict[int, bytes | None]) -> None:
+        """Apply a targeted delta: grow to ``num_blocks``, set the listed ids.
+
+        The replica-side half of :meth:`snapshot_blocks`.  A state
+        transfer (no statistics, no transform); the device never
+        shrinks, and oversized payloads are rejected like any write.
+        The patched ids are journaled -- they are genuine state changes
+        should anything ever track *this* device.
+        """
+        for block_id, data in block_writes.items():
+            if data is not None and len(data) > self.block_size:
+                raise BlockBoundsError(
+                    f"patched payload of {len(data)} bytes overflows "
+                    f"{self.block_size}-byte block",
+                    block_id=block_id,
+                )
+            if block_id >= num_blocks:
+                raise BlockBoundsError(
+                    f"patch writes block {block_id} beyond device of "
+                    f"{num_blocks} blocks",
+                    block_id=block_id,
+                )
+        with self._lock:
+            if num_blocks > len(self._blocks):
+                self._blocks.extend([None] * (num_blocks - len(self._blocks)))
+            for block_id, data in block_writes.items():
+                self._blocks[block_id] = data
+        self.journal.note_many(block_writes)
 
     # -- the attacker's view ---------------------------------------------
 

@@ -7,6 +7,7 @@ drawn from the disguise's universe, payload records, and query mixes.
 
 from repro.workloads.generators import (
     KeyWorkload,
+    mixed_operations,
     payloads_for,
     point_queries,
     range_queries,
@@ -15,6 +16,7 @@ from repro.workloads.generators import (
 
 __all__ = [
     "KeyWorkload",
+    "mixed_operations",
     "payloads_for",
     "point_queries",
     "range_queries",

@@ -101,6 +101,54 @@ def range_queries(
     return out
 
 
+def mixed_operations(
+    universe: range,
+    initial_keys: list[int],
+    count: int,
+    read_fraction: float,
+    seed: int = 4,
+    range_span: int = 32,
+    payload_size: int = 48,
+) -> list[tuple]:
+    """A deterministic interleaved stream of reads and writes.
+
+    Models the mixed workloads benchmark C11 replays against every
+    executor backend: each step is a range read with probability
+    ``read_fraction``, otherwise a write (alternating inserts of absent
+    keys and deletes of present ones, so the population stays near its
+    initial size).  The generator simulates the key population as it
+    goes, so every emitted operation is valid when replayed in order
+    against a store seeded with ``initial_keys``:
+
+    * ``("range", lo, hi)`` -- a range query;
+    * ``("put", key, payload)`` -- insert of a currently-absent key;
+    * ``("delete", key)`` -- delete of a currently-present key.
+    """
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ReproError(f"read fraction {read_fraction} outside [0, 1]")
+    rng = random.Random(seed)
+    present = sorted(initial_keys)
+    absent = sorted(set(universe) - set(initial_keys))
+    ops: list[tuple] = []
+    insert_next = True
+    for _ in range(count):
+        if rng.random() < read_fraction or (not absent and not present):
+            lo = rng.randrange(universe.start, max(universe.start + 1, universe.stop - range_span))
+            ops.append(("range", lo, lo + range_span - 1))
+            continue
+        if (insert_next and absent) or not present:
+            key = absent.pop(rng.randrange(len(absent)))
+            payload = payloads_for([key], payload_size, seed=key)[key]
+            ops.append(("put", key, payload))
+            present.append(key)
+        else:
+            key = present.pop(rng.randrange(len(present)))
+            ops.append(("delete", key))
+            absent.append(key)
+        insert_next = not insert_next
+    return ops
+
+
 @dataclass
 class KeyWorkload:
     """A bundled workload: keys, payloads and query streams."""
