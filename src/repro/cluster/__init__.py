@@ -9,6 +9,9 @@ so one compromised shard opens one shard, and an opponent dumping all
 platters cannot correlate block frequencies across shards.
 
 * :mod:`repro.cluster.router` -- hash and range key-to-shard routing;
+* :mod:`repro.cluster.manifest` -- the enciphered, self-describing
+  cluster manifest (shard count, router, key-derivation labels, shard
+  scope names) a durable backend stores beside its platters;
 * :mod:`repro.cluster.sharded` -- the
   :class:`~repro.cluster.sharded.ShardedEncipheredDatabase` engine
   (pluggable serial/thread/process fan-out, per-shard key derivation,
@@ -24,6 +27,7 @@ measures cipher-kernel throughput and the executor backends' wall-clock.
 """
 
 from repro.cluster.executor import ProcessShardExecutor, ShardSpec
+from repro.cluster.manifest import ClusterManifest
 from repro.cluster.router import HashRouter, RangeRouter, ShardRouter
 from repro.cluster.sharded import ShardedEncipheredDatabase, derive_shard_key
 from repro.cluster.stats import (
@@ -33,6 +37,7 @@ from repro.cluster.stats import (
 )
 
 __all__ = [
+    "ClusterManifest",
     "ClusterStats",
     "HashRouter",
     "ProcessShardExecutor",

@@ -43,6 +43,17 @@ picklable (module-level functions, as
 requires them to be deterministic).  The ``fork`` start method is used
 where available; under ``spawn`` the factories' module must be
 importable by the child.
+
+Durable backends compose transparently: a parent shard on a
+:class:`~repro.storage.platter.FilePlatter` exports the same at-rest
+byte sequence as an in-memory one (``export_state`` / ``raw_blocks``
+abstract over the device), so its spec ships unchanged.  Worker
+replicas deliberately stay on :class:`~repro.storage.disk.
+SimulatedDisk` regardless of the parent's backend -- sharing a platter
+*file* across processes would mean uncoordinated handles racing the
+WAL, and a replica's writes must never land on the parent's platter
+anyway (the parent is authoritative; bulk_load state is promoted
+through it).
 """
 
 from __future__ import annotations

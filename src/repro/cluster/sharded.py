@@ -49,6 +49,7 @@ from contextlib import ExitStack, contextmanager
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.cluster.executor import ProcessShardExecutor, UncommittedShardState
+from repro.cluster.manifest import ClusterManifest
 from repro.cluster.router import HashRouter, RangeRouter, ShardRouter
 from repro.cluster.stats import ClusterStats, merge_counter_dicts
 from repro.core.database import EncipheredDatabase
@@ -56,7 +57,8 @@ from repro.core.records import RecordStore
 from repro.crypto.base import IntegerCipher
 from repro.crypto.des import DES
 from repro.exceptions import BTreeError, DuplicateKeyError, StorageError
-from repro.storage.disk import SimulatedDisk
+from repro.storage.backend import StorageBackend
+from repro.storage.device import BlockDevice
 from repro.substitution.base import KeySubstitution
 
 # the single-database defaults, reused as the cluster's base secrets
@@ -173,6 +175,7 @@ class ShardedEncipheredDatabase:
         decoded_node_cache_bytes: int = 0,
         executor: str = "threads",
         delta_sync: bool = True,
+        backend: StorageBackend | None = None,
     ) -> "ShardedEncipheredDatabase":
         """Initialise ``num_shards`` fresh shards with derived secrets.
 
@@ -190,8 +193,19 @@ class ShardedEncipheredDatabase:
         incrementally -- only journal-proven changed blocks ship;
         ``False`` restores the full-state re-ship on every parent write,
         which benchmark C11 uses as its baseline arm.
+
+        ``backend`` places every shard's devices on a
+        :class:`~repro.storage.backend.StorageBackend`: shard ``i``
+        lives in the scoped child backend ``shard-{i:03d}``, and an
+        enciphered :class:`~repro.cluster.manifest.ClusterManifest`
+        (shard count, router kind/boundaries, key-derivation labels,
+        geometry, scope names) is saved to the backend, so a later
+        :meth:`reopen_from_manifest` needs only the backend and the base
+        secrets.  ``None`` keeps the historical in-memory devices (and
+        writes no manifest).
         """
         substitutions = [substitution_factory(i) for i in range(num_shards)]
+        scopes = [f"shard-{i:03d}" for i in range(num_shards)]
         shards = [
             EncipheredDatabase.create(
                 substitutions[i],
@@ -207,10 +221,24 @@ class ShardedEncipheredDatabase:
                 record_cache_blocks=record_cache_blocks,
                 decoded_node_cache_blocks=decoded_node_cache_blocks,
                 decoded_node_cache_bytes=decoded_node_cache_bytes,
+                backend=backend.scoped(scopes[i]) if backend is not None else None,
             )
             for i in range(num_shards)
         ]
         resolved = _resolve_router(router, num_shards, substitutions[0])
+        if backend is not None:
+            kind, boundaries = ClusterManifest.describe_router(resolved)
+            manifest = ClusterManifest(
+                num_shards=num_shards,
+                router_kind=kind,
+                router_boundaries=boundaries,
+                block_size=block_size,
+                record_size=record_size,
+                shard_scopes=scopes,
+                super_label=_SUPER_LABEL,
+                data_label=_DATA_LABEL,
+            )
+            backend.save_manifest(manifest.encipher(super_key))
         return cls(
             shards,
             resolved,
@@ -225,7 +253,7 @@ class ShardedEncipheredDatabase:
         cls,
         substitution_factory: Callable[[int], KeySubstitution],
         pointer_cipher_factory: Callable[[int], IntegerCipher],
-        parts: Sequence[tuple[SimulatedDisk, RecordStore]],
+        parts: Sequence[tuple[BlockDevice, RecordStore]],
         *,
         router: ShardRouter | str = "hash",
         super_key: bytes = _DEFAULT_SUPER_KEY,
@@ -291,6 +319,77 @@ class ShardedEncipheredDatabase:
             delta_sync=delta_sync,
         )
 
+    @classmethod
+    def reopen_from_manifest(
+        cls,
+        substitution_factory: Callable[[int], KeySubstitution],
+        pointer_cipher_factory: Callable[[int], IntegerCipher],
+        backend: StorageBackend,
+        *,
+        super_key: bytes = _DEFAULT_SUPER_KEY,
+        data_key: bytes = _DEFAULT_DATA_KEY,
+        cache_blocks: int = 16,
+        write_back: bool = False,
+        autocommit: bool = True,
+        max_workers: int | None = None,
+        record_cache_blocks: int = 0,
+        decoded_node_cache_blocks: int = 0,
+        decoded_node_cache_bytes: int = 0,
+        validate_routing: bool = True,
+        executor: str = "threads",
+        delta_sync: bool = True,
+    ) -> "ShardedEncipheredDatabase":
+        """Rebuild a cluster from its backend and the base secrets alone.
+
+        The self-describing reopen: the shard count, router
+        kind/boundaries, key-derivation labels, geometry and per-shard
+        scope names all come from the backend's enciphered manifest --
+        nothing about the cluster's shape is trusted from the caller, so
+        a stale deployment script cannot silently mis-route.  Each
+        shard reopens from its scoped backend via
+        :meth:`EncipheredDatabase.reopen_from_backend` (replaying any
+        crash-interrupted WAL epochs and rescanning record metadata on
+        the way), and unless ``validate_routing=False`` the
+        reconstructed router is still checked against the actual key
+        placement -- the manifest authenticates the *configuration*,
+        the validation cross-checks it against the *data*.
+        """
+        manifest = ClusterManifest.decipher(backend.load_manifest(), super_key)
+        substitutions = [
+            substitution_factory(i) for i in range(manifest.num_shards)
+        ]
+        shards = [
+            EncipheredDatabase.reopen_from_backend(
+                substitutions[i],
+                pointer_cipher_factory(i),
+                backend.scoped(manifest.shard_scopes[i]),
+                super_key=derive_shard_key(super_key, manifest.super_label, i),
+                data_key=derive_shard_key(data_key, manifest.data_label, i),
+                block_size=manifest.block_size,
+                record_size=manifest.record_size,
+                cache_blocks=cache_blocks,
+                write_back=write_back,
+                autocommit=autocommit,
+                record_cache_blocks=record_cache_blocks,
+                decoded_node_cache_blocks=decoded_node_cache_blocks,
+                decoded_node_cache_bytes=decoded_node_cache_bytes,
+            )
+            for i in range(manifest.num_shards)
+        ]
+        router = manifest.build_router()
+        if validate_routing:
+            cls._validate_routing(shards, router)
+        for shard in shards:
+            shard._make_cold()  # recovery/validation walks must not pre-warm
+        return cls(
+            shards,
+            router,
+            max_workers=max_workers,
+            executor=executor,
+            shard_factories=(substitution_factory, pointer_cipher_factory),
+            delta_sync=delta_sync,
+        )
+
     @staticmethod
     def _validate_routing(
         shards: Sequence[EncipheredDatabase], router: ShardRouter
@@ -322,7 +421,7 @@ class ShardedEncipheredDatabase:
                             f"kind/boundaries and the order of shard parts"
                         )
 
-    def shard_parts(self) -> list[tuple[SimulatedDisk, RecordStore]]:
+    def shard_parts(self) -> list[tuple[BlockDevice, RecordStore]]:
         """The durable state a later :meth:`reopen` needs, in shard order."""
         return [(shard.disk, shard.records) for shard in self.shards]
 
@@ -422,8 +521,17 @@ class ShardedEncipheredDatabase:
         )
 
     def close(self) -> None:
-        """Commit every shard and release the worker threads/processes."""
+        """Commit every shard, release devices and worker threads/processes.
+
+        On durable backends this closes every shard's platter files
+        (after their final sync); on in-memory devices the close is a
+        no-op and the cluster object remains usable, which existing
+        callers rely on.
+        """
         self.commit()
+        for shard in self.shards:
+            shard.records.disk.close()
+            shard.disk.close()
         with self._executor_lock:
             if self._executor is not None:
                 self._executor.shutdown(wait=True)

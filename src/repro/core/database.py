@@ -90,6 +90,8 @@ from repro.crypto.base import CountingCipher, IntegerCipher
 from repro.crypto.des import DES
 from repro.crypto.modes import CBCCipher
 from repro.exceptions import CryptoError, IntegrityError, KeyNotFoundError, StorageError
+from repro.storage.backend import StorageBackend
+from repro.storage.device import BlockDevice
 from repro.storage.disk import SimulatedDisk
 from repro.storage.journal import ShardDelta
 from repro.storage.pager import Pager
@@ -123,7 +125,7 @@ class EncipheredDatabase:
         self,
         substitution: KeySubstitution,
         pointer_cipher: IntegerCipher,
-        disk: SimulatedDisk,
+        disk: BlockDevice,
         records: RecordStore,
         super_key: bytes,
         tree: BTree,
@@ -175,7 +177,7 @@ class EncipheredDatabase:
         self.disk.write_block(0, self._super_cipher(self._super_key).encrypt(payload))
 
     @classmethod
-    def _read_superblock(cls, disk: SimulatedDisk, super_key: bytes) -> tuple[int, int, int]:
+    def _read_superblock(cls, disk: BlockDevice, super_key: bytes) -> tuple[int, int, int]:
         try:
             payload = cls._super_cipher(super_key).decrypt(disk.read_block(0))
         except CryptoError as exc:
@@ -208,6 +210,7 @@ class EncipheredDatabase:
         record_cache_blocks: int = 0,
         decoded_node_cache_blocks: int = 0,
         decoded_node_cache_bytes: int = 0,
+        backend: StorageBackend | None = None,
     ) -> "EncipheredDatabase":
         """Initialise a fresh database (block 0 reserved for the superblock).
 
@@ -218,8 +221,20 @@ class EncipheredDatabase:
         ``decoded_node_cache_bytes`` additionally (or instead) bounds the
         decoded-node cache by the byte size of the blocks its views were
         decoded from, making its memory footprint plannable.
+
+        ``backend`` selects where the two block devices live (``None``
+        keeps the historical private in-memory disks): devices are
+        opened as ``"node"`` and ``"records"``, created fresh.  On a
+        durable backend every :meth:`commit` additionally syncs both
+        devices -- records first, node last, so the node device's
+        superblock (the authority a reopen trusts) is the commit point:
+        a crash between the two syncs merely leaks record slots that no
+        committed index entry references.
         """
-        disk = SimulatedDisk(block_size=block_size)
+        if backend is None:
+            disk: BlockDevice = SimulatedDisk(block_size=block_size)
+        else:
+            disk = backend.open_device("node", block_size=block_size, create=True)
         reserved = disk.allocate()
         if reserved != 0:
             raise StorageError("superblock must be block 0")
@@ -231,7 +246,9 @@ class EncipheredDatabase:
         tree = BTree(pager=pager, codec=codec, min_degree=min_degree)
         records = RecordStore(data_key, record_size=record_size,
                               block_size=block_size,
-                              cache_blocks=record_cache_blocks)
+                              cache_blocks=record_cache_blocks,
+                              backend=backend,
+                              create=True if backend is not None else None)
         db = cls(substitution, counting, disk, records, super_key, tree,
                  autocommit=autocommit)
         db.commit()  # superblock + the fresh root reach the platter
@@ -242,7 +259,7 @@ class EncipheredDatabase:
         cls,
         substitution: KeySubstitution,
         pointer_cipher: IntegerCipher,
-        disk: SimulatedDisk,
+        disk: BlockDevice,
         records: RecordStore,
         *,
         super_key: bytes = b"\x5b\xad\xc0\xde\x5b\xad\xc0\xde",
@@ -281,14 +298,68 @@ class EncipheredDatabase:
         db._make_cold()  # attach's verification walk must not pre-warm
         return db
 
+    @classmethod
+    def reopen_from_backend(
+        cls,
+        substitution: KeySubstitution,
+        pointer_cipher: IntegerCipher,
+        backend: StorageBackend,
+        *,
+        super_key: bytes = b"\x5b\xad\xc0\xde\x5b\xad\xc0\xde",
+        data_key: bytes = b"\x13\x34\x57\x79\x9b\xbc\xdf\xf1",
+        block_size: int = 512,
+        record_size: int = 120,
+        cache_blocks: int = 16,
+        write_back: bool = False,
+        autocommit: bool = True,
+        record_cache_blocks: int = 0,
+        decoded_node_cache_blocks: int = 0,
+        decoded_node_cache_bytes: int = 0,
+    ) -> "EncipheredDatabase":
+        """Reopen a database from its backend and the secrets alone.
+
+        The crash-recovery entry point: opening the node device replays
+        any write-ahead-log epochs a crash left sealed-but-unapplied,
+        the record store rebuilds its slot metadata by scanning (the
+        platter carries no metadata records), and :meth:`reopen` then
+        verifies the index from the recovered superblock.  Geometry
+        (``block_size``/``record_size``) must match creation -- the
+        cluster manifest records it; standalone callers supply it.
+        """
+        disk = backend.open_device("node", block_size=block_size, create=False)
+        records = RecordStore.reopen(
+            data_key,
+            backend,
+            record_size=record_size,
+            block_size=block_size,
+            cache_blocks=record_cache_blocks,
+        )
+        return cls.reopen(
+            substitution,
+            pointer_cipher,
+            disk,
+            records,
+            super_key=super_key,
+            cache_blocks=cache_blocks,
+            write_back=write_back,
+            autocommit=autocommit,
+            record_cache_blocks=None,
+            decoded_node_cache_blocks=decoded_node_cache_blocks,
+            decoded_node_cache_bytes=decoded_node_cache_bytes,
+        )
+
     # -- commit machinery ------------------------------------------------
 
     def commit(self) -> None:
         """Make every pending change durable.
 
-        Applies deferred record-slot frees, re-enciphers the superblock
-        and flushes dirty node pages.  Inside a :meth:`transaction` this
-        establishes a new rollback point.
+        Applies deferred record-slot frees, re-enciphers the superblock,
+        flushes dirty node pages, and -- on a durable backend -- syncs
+        both devices, records first: the node sync carries the
+        authoritative superblock, so it is the commit point, and a crash
+        between the syncs leaves only unreferenced (leaked) record
+        slots, never a superblock pointing at missing data.  Inside a
+        :meth:`transaction` this establishes a new rollback point.
         """
         with self.lock.write_locked():
             for record_id in self._txn_record_deletes:
@@ -297,6 +368,8 @@ class EncipheredDatabase:
             self._txn_record_puts = []
             self._write_superblock()
             self.tree.pager.flush()
+            self.records.disk.sync()
+            self.disk.sync()
             self.has_uncommitted_changes = False
             if self._in_txn:
                 self._txn_snapshot = self.tree.snapshot_state()
@@ -605,6 +678,69 @@ class EncipheredDatabase:
             self.tree.restore_state(delta.tree_state)
             self.has_uncommitted_changes = False
 
+    # -- cross-process catch-up (durable-backend support) ----------------
+
+    def reattach(self) -> dict[str, object]:
+        """Catch this handle up with commits another process made.
+
+        The journal-driven alternative to a wholesale cold reopen: both
+        devices are polled for the block ids whose at-rest bytes moved,
+        and only those ids are dropped from the read caches (raw pages,
+        decoded node views, plaintext record blocks); the record store's
+        slot metadata is repaired by deciphering just the changed
+        blocks, and the superblock is re-read to adopt the new root and
+        size.  When a device cannot prove completeness (its WAL was
+        checkpointed past this handle), that side falls back to a
+        wholesale invalidation -- correctness never depends on the
+        delta.
+
+        Reader-role semantics (single-writer discipline): this handle
+        must have no uncommitted work of its own, and its tree free-list
+        is reset -- reattached handles serve reads; the writing process
+        owns allocation.  Returns ``{"node_blocks", "record_blocks",
+        "wholesale"}`` describing what was invalidated.
+        """
+        with self.lock.write_locked():
+            if self.has_uncommitted_changes or self._in_txn:
+                raise StorageError(
+                    "reattach on a handle with uncommitted work of its own"
+                )
+            pager = self.tree.pager
+            node_changed = self.disk.poll()
+            if node_changed is None:
+                pager.clear_cache()
+            else:
+                for block_id in node_changed:
+                    pager.invalidate(block_id)
+            record_changed = self.records.reattach()
+            root_id, min_degree, size = self._read_superblock(
+                self.disk, self._super_key
+            )
+            if min_degree != self.tree.min_degree:
+                raise IntegrityError(
+                    f"superblock records min_degree {min_degree}, "
+                    f"handle was built for {self.tree.min_degree}"
+                )
+            self.tree.restore_state((root_id, size, []))
+            return {
+                "node_blocks": len(node_changed) if node_changed is not None else None,
+                "record_blocks": (
+                    len(record_changed) if record_changed is not None else None
+                ),
+                "wholesale": node_changed is None or record_changed is None,
+            }
+
+    def close(self) -> None:
+        """Commit pending work and release both devices' OS resources.
+
+        A no-op beyond the commit for in-memory backends.  Do not call
+        inside a :meth:`transaction` scope.
+        """
+        if self.has_uncommitted_changes:
+            self.commit()
+        self.records.disk.close()
+        self.disk.close()
+
     # -- caches ----------------------------------------------------------
 
     def warm(self, levels: int = 2) -> int:
@@ -696,6 +832,10 @@ class EncipheredDatabase:
                     "write_requests": pager.write_requests,
                     "disk_writes": pager.disk_writes,
                     "dirty_evictions": pager.dirty_evictions,
+                },
+                "durability": {
+                    "node": self.disk.durability_snapshot(),
+                    "records": self.records.disk.durability_snapshot(),
                 },
                 "record_cipher": self.records.cipher_counts.snapshot(),
                 "record_cache": self.records.cache.stats.snapshot(),

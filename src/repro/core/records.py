@@ -35,7 +35,8 @@ from __future__ import annotations
 from repro.crypto.base import CryptoOpCounts
 from repro.crypto.des import DES
 from repro.crypto.modes import CBCCipher
-from repro.exceptions import StorageError
+from repro.exceptions import BlockBoundsError, StorageError
+from repro.storage.backend import StorageBackend
 from repro.storage.cache import LRUCache
 from repro.storage.disk import SimulatedDisk
 from repro.storage.journal import ChangeJournal, DiskDelta, RecordStoreDelta
@@ -82,6 +83,14 @@ class RecordStore:
         Capacity (in blocks) of the plaintext slot cache; ``0`` (the
         default) disables it, preserving the decipher-per-read cost
         model exactly.
+    backend:
+        Optional :class:`~repro.storage.backend.StorageBackend` the
+        store's device comes from (``None`` keeps the historical
+        private in-memory disk).  ``device_name``/``create`` select and
+        qualify the backend device; opening an *existing* device gives
+        back the at-rest bytes but not the slot metadata, which lives
+        only in memory -- use :meth:`reopen` (or call
+        :meth:`recover_metadata`) to rebuild it by scanning.
     """
 
     def __init__(
@@ -90,6 +99,10 @@ class RecordStore:
         record_size: int = 120,
         block_size: int = 4096,
         cache_blocks: int = 0,
+        *,
+        backend: StorageBackend | None = None,
+        device_name: str = "records",
+        create: bool | None = None,
     ) -> None:
         slot = record_size + 2  # 2-byte length prefix
         # CBC pads up to a full cipher block; leave room for it.
@@ -102,7 +115,15 @@ class RecordStore:
         self.record_size = record_size
         self.slot_size = slot
         self._transform = _RecordBlockTransform(data_key)
-        self.disk = SimulatedDisk(block_size=block_size, transform=self._transform)
+        if backend is not None:
+            self.disk = backend.open_device(
+                device_name,
+                block_size=block_size,
+                transform=self._transform,
+                create=create,
+            )
+        else:
+            self.disk = SimulatedDisk(block_size=block_size, transform=self._transform)
         #: Mutated record-slot ids since the last seal (``put``/``delete``
         #: note here); the block-level journal on :attr:`disk` tracks the
         #: enciphered bytes the sync protocol actually ships, this one
@@ -113,6 +134,42 @@ class RecordStore:
         self._open_slots: list[bytes] = []
         self._free: list[int] = []
         self.count = 0
+        #: Number of platter blocks the slot metadata above reflects;
+        #: :meth:`reattach` uses it to tell "block changed under me"
+        #: from "block is new to me".
+        self._meta_blocks = self.disk.num_blocks
+
+    @classmethod
+    def reopen(
+        cls,
+        data_key: bytes,
+        backend: StorageBackend,
+        *,
+        record_size: int = 120,
+        block_size: int = 4096,
+        cache_blocks: int = 0,
+        device_name: str = "records",
+    ) -> "RecordStore":
+        """Rebuild a store from a backend's existing device by scanning.
+
+        The platter holds only enciphered slot blocks -- no metadata
+        records -- so the free list, record count and open block are
+        recovered by deciphering every block once and reading the slot
+        length prefixes (a free slot's prefix is the ``0xFFFF`` marker).
+        That full-scan decipher *is* the honest cold-open cost of the
+        metadata-less format; benchmark C12 measures it.
+        """
+        store = cls(
+            data_key,
+            record_size=record_size,
+            block_size=block_size,
+            cache_blocks=cache_blocks,
+            backend=backend,
+            device_name=device_name,
+            create=False,
+        )
+        store.recover_metadata()
+        return store
 
     @property
     def cipher_counts(self) -> CryptoOpCounts:
@@ -178,8 +235,124 @@ class RecordStore:
         self.count = state["count"]
         self._open_block = state["open_block"]
         self._open_slots = list(state["open_slots"])
+        self._meta_blocks = self.disk.num_blocks
         self.journal.taint()  # slot history described the replaced store
         self.cache.clear()
+
+    # -- metadata recovery (durable-backend support) ---------------------
+
+    def _scan_block(self, block_id: int):
+        """Decipher one block and classify its slots.
+
+        Returns ``(slots, free_ids, live_count)``, or ``None`` for an
+        allocated-but-never-written block (an empty open block a crash
+        left behind).
+        """
+        try:
+            data = self.disk.read_block(block_id)
+        except BlockBoundsError:
+            return None
+        slots = [
+            data[i : i + self.slot_size] for i in range(0, len(data), self.slot_size)
+        ]
+        free_ids: list[int] = []
+        live = 0
+        for slot, raw in enumerate(slots):
+            if int.from_bytes(raw[:2], "big") > self.record_size:
+                free_ids.append(block_id * self.slots_per_block + slot)
+            else:
+                live += 1
+        return slots, free_ids, live
+
+    def recover_metadata(self) -> None:
+        """Rebuild free list / count / open block by scanning every block.
+
+        The wholesale path: one decipher per allocated block.  The only
+        partially-filled block a correct writer can leave is the open
+        one, so the (last) block with fewer than ``slots_per_block``
+        slots -- or a never-written trailing allocation -- is adopted as
+        the open block.
+        """
+        free: list[int] = []
+        count = 0
+        open_block: int | None = None
+        open_slots: list[bytes] = []
+        for block_id in range(self.disk.num_blocks):
+            scanned = self._scan_block(block_id)
+            if scanned is None:
+                open_block, open_slots = block_id, []
+                continue
+            slots, free_ids, live = scanned
+            free.extend(free_ids)
+            count += live
+            if len(slots) < self.slots_per_block:
+                open_block, open_slots = block_id, slots
+        self._free = free
+        self.count = count
+        self._open_block = open_block
+        self._open_slots = open_slots
+        self._meta_blocks = self.disk.num_blocks
+        self.cache.clear()
+
+    def reattach(self) -> set[int] | None:
+        """Catch up with commits another handle made to the same device.
+
+        Polls the device for the block ids whose at-rest bytes moved,
+        invalidates exactly those plaintext cache entries, and repairs
+        the slot metadata incrementally -- deciphering only the changed
+        blocks, not the whole store.  Falls back to a full
+        :meth:`recover_metadata` (and a cache clear) when the device
+        cannot prove completeness (``poll()`` returned ``None``).
+        Returns what ``poll`` returned.
+        """
+        changed = self.disk.poll()
+        if changed is None:
+            self.recover_metadata()
+            return None
+        if changed:
+            for block_id in changed:
+                self.cache.invalidate(block_id)
+            self._reindex_blocks(changed)
+        return changed
+
+    def _reindex_blocks(self, changed) -> None:
+        """Fold a set of changed blocks into the slot metadata.
+
+        For each block the previous contribution (slots known, free
+        among them) is subtracted -- derivable from the old free list
+        and open-block record -- and the freshly scanned contribution is
+        added, so ``count``/``free`` stay exact without touching
+        unchanged blocks.
+        """
+        spb = self.slots_per_block
+        free_set = set(self._free)
+        for block_id in sorted(changed):
+            if block_id < self._meta_blocks:
+                old_slots = (
+                    len(self._open_slots) if block_id == self._open_block else spb
+                )
+                old_free = sum(
+                    1 for s in range(old_slots) if block_id * spb + s in free_set
+                )
+                old_live = old_slots - old_free
+            else:
+                old_live = 0
+            free_set.difference_update(block_id * spb + s for s in range(spb))
+            scanned = self._scan_block(block_id)
+            if scanned is None:
+                if block_id >= self._meta_blocks:
+                    self._open_block, self._open_slots = block_id, []
+                new_live = 0
+            else:
+                slots, free_ids, new_live = scanned
+                free_set.update(free_ids)
+                if len(slots) < spb:
+                    self._open_block, self._open_slots = block_id, slots
+                elif block_id == self._open_block:
+                    self._open_slots = slots  # the open block filled up
+            self.count += new_live - old_live
+        self._free = sorted(free_set)
+        self._meta_blocks = max(self._meta_blocks, self.disk.num_blocks)
 
     # -- incremental replica sync ----------------------------------------
 
@@ -234,6 +407,7 @@ class RecordStore:
         self.count = delta.count
         self._open_block = delta.open_block
         self._open_slots = list(delta.open_slots)
+        self._meta_blocks = self.disk.num_blocks
         for block_id in delta.disk.block_writes:
             self.cache.invalidate(block_id)
 
@@ -307,6 +481,7 @@ class RecordStore:
         if self._open_block is None or len(self._open_slots) == self.slots_per_block:
             self._open_block = self.disk.allocate()
             self._open_slots = []
+            self._meta_blocks = max(self._meta_blocks, self._open_block + 1)
         self._open_slots.append(self._encode_slot(record))
         self._flush_open()
         self.count += 1

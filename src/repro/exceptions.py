@@ -68,6 +68,16 @@ class CodecError(StorageError):
     """A node block could not be encoded into / decoded from bytes."""
 
 
+class PlatterFormatError(StorageError):
+    """A file platter's header, WAL or manifest is not what it claims.
+
+    Raised when a durable artefact fails its self-description: bad
+    magic, unsupported format version, a checksum mismatch that no
+    write-ahead-log entry can repair, or a torn structure that recovery
+    cannot interpret.
+    """
+
+
 class BTreeError(ReproError):
     """Base class for B-Tree failures."""
 

@@ -5,9 +5,17 @@ of the B-Tree node blocks and data blocks"*; the authors assume an
 on-the-fly (hardware) encipherment module between main memory and the
 physical disk.  This package simulates that boundary:
 
-* :mod:`repro.storage.disk` -- a block device with read/write accounting
-  and an optional encipherment transform applied exactly at the
-  read/write boundary (the hardware module's position);
+* :mod:`repro.storage.device` -- the :class:`BlockDevice` interface:
+  read/write accounting plus an optional encipherment transform applied
+  exactly at the read/write boundary (the hardware module's position);
+* :mod:`repro.storage.disk` -- the in-memory device (instant, the
+  paper-faithful cost model, optional simulated latency);
+* :mod:`repro.storage.platter` -- the durable device: one
+  self-describing file per platter with a checksummed dual-slot header,
+  CRC-tagged block records and a sidecar write-ahead log replayed (and
+  used for block repair) on open;
+* :mod:`repro.storage.backend` -- factories binding a database's
+  devices and manifest to memory or to a directory of platter files;
 * :mod:`repro.storage.cache` -- the generic thread-safe LRU (pinning,
   eviction callback, mergeable hit/miss/eviction stats) every read-path
   layer builds its caching on;
@@ -26,25 +34,33 @@ physical disk.  This package simulates that boundary:
   writers with.
 """
 
+from repro.storage.backend import FileBackend, MemoryBackend, StorageBackend
 from repro.storage.cache import CacheStats, LRUCache
+from repro.storage.device import BlockDevice
 from repro.storage.disk import BlockTransform, DiskStats, SimulatedDisk
 from repro.storage.journal import ChangeJournal, DiskDelta, RecordStoreDelta, ShardDelta
 from repro.storage.layout import NodeLayout, TripletLayout
 from repro.storage.pager import Pager
+from repro.storage.platter import FilePlatter
 from repro.storage.rwlock import ReadWriteLock
 
 __all__ = [
+    "BlockDevice",
     "BlockTransform",
     "CacheStats",
     "ChangeJournal",
     "DiskDelta",
     "DiskStats",
+    "FileBackend",
+    "FilePlatter",
     "LRUCache",
+    "MemoryBackend",
     "NodeLayout",
     "Pager",
     "ReadWriteLock",
     "RecordStoreDelta",
     "ShardDelta",
     "SimulatedDisk",
+    "StorageBackend",
     "TripletLayout",
 ]

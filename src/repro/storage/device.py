@@ -1,0 +1,254 @@
+"""The block-device interface every storage bottom implements.
+
+Until PR 6 the storage bottom *was* :class:`~repro.storage.disk.
+SimulatedDisk` -- an instant, in-memory dict -- and every layer above it
+(pager, record store, database, cluster, replica sync) was written
+against that one concrete class.  This module extracts the contract
+those layers actually rely on into :class:`BlockDevice`, so the bottom
+becomes pluggable:
+
+* :class:`~repro.storage.disk.SimulatedDisk` -- the in-memory backend,
+  now with an optional per-operation latency so executor and cache
+  benchmarks can model I/O wait without a real file;
+* :class:`~repro.storage.platter.FilePlatter` -- a single real file with
+  a checksummed self-describing header, CRC-tagged block records and a
+  write-ahead log, giving the enciphered-database-at-rest story an
+  actual at-rest form and a crash-recovery path.
+
+The template methods here pin down the one architectural invariant both
+backends share: the optional :class:`BlockTransform` -- the paper's
+on-the-fly hardware encipherment module -- runs exactly at the
+read/write boundary, *outside* any device lock (cryptography is the
+expensive part and enciphers streams independently of platter
+arbitration).  Backends implement the at-rest primitives
+(:meth:`BlockDevice._store` / :meth:`BlockDevice._fetch`) plus the
+state-transfer surface the replica-sync protocol ships bytes through.
+
+Durability is part of the interface but optional in the implementation:
+:meth:`BlockDevice.sync` is the commit-time barrier ("pending writes
+are now at rest"), a no-op for the in-memory device and a WAL-append +
+apply + header-flip for the file platter; :meth:`BlockDevice.poll` is
+the cross-process catch-up probe behind journal-driven cache
+invalidation (see :meth:`repro.core.database.EncipheredDatabase.
+reattach`); :meth:`BlockDevice.durability_snapshot` reports the same
+counter shape for every backend so cluster statistics merge leaf-wise.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.exceptions import BlockBoundsError, StorageError
+from repro.storage.journal import ChangeJournal
+
+
+class BlockTransform(Protocol):
+    """The on-the-fly encipherment module between memory and disk."""
+
+    def on_write(self, block_id: int, data: bytes) -> bytes:
+        """Transform plain block bytes into their at-rest form."""
+        ...
+
+    def on_read(self, block_id: int, data: bytes) -> bytes:
+        """Invert :meth:`on_write`."""
+        ...
+
+
+@dataclass
+class DiskStats:
+    """Counters for physical block traffic.
+
+    ``overwrites`` counts writes landing on a block that already held
+    data -- the quantity a write-back pager drives down by coalescing
+    repeated rewrites of hot blocks (benchmark C7).
+    """
+
+    reads: int = 0
+    writes: int = 0
+    overwrites: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.overwrites = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+
+@dataclass
+class _PageKeyTransform:
+    """Adapter turning a page-key scheme into a :class:`BlockTransform`."""
+
+    encrypt: Callable[[int, bytes], bytes]
+    decrypt: Callable[[int, bytes], bytes]
+
+    def on_write(self, block_id: int, data: bytes) -> bytes:
+        return self.encrypt(block_id, data)
+
+    def on_read(self, block_id: int, data: bytes) -> bytes:
+        return self.decrypt(block_id, data)
+
+
+def transform_from_page_key_scheme(scheme) -> BlockTransform:
+    """Wrap a :class:`repro.crypto.pagekey.PageKeyScheme` as a transform."""
+    return _PageKeyTransform(encrypt=scheme.encrypt_page, decrypt=scheme.decrypt_page)
+
+
+#: The one durability-counter shape every backend reports, so the
+#: cluster's leaf-wise counter merge works whatever mix of backends the
+#: shards run on.  The in-memory device reports all zeros.
+DURABILITY_FIELDS = (
+    "syncs",
+    "wal_frames",
+    "wal_bytes",
+    "header_flips",
+    "frames_replayed",
+    "blocks_repaired",
+    "checkpoints",
+)
+
+
+class BlockDevice(ABC):
+    """A growable array of fixed-size blocks with I/O accounting.
+
+    Subclasses supply the at-rest storage (:meth:`_store`/:meth:`_fetch`
+    plus the allocation and state-transfer surface); this base class
+    owns the transform boundary, the shared statistics object and the
+    change journal that the incremental replica-sync protocol reads.
+
+    The transform runs outside whatever lock the backend takes for its
+    at-rest bookkeeping, so concurrent readers admitted by the
+    database's reader--writer lock decipher in parallel.
+    """
+
+    def __init__(self, block_size: int, transform: BlockTransform | None) -> None:
+        if block_size < 16:
+            raise StorageError(f"block size {block_size} is unrealistically small")
+        self.block_size = block_size
+        self.transform = transform
+        self.stats = DiskStats()
+        #: Ledger of mutated block ids for incremental replica sync; a
+        #: write whose at-rest bytes equal what the platter already held
+        #: is *not* journaled (nothing changed, nothing to ship), which
+        #: is what keeps no-op commits -- identical superblock rewrites
+        #: -- invisible to the sync protocol.
+        self.journal = ChangeJournal(on_seal=self._on_journal_seal)
+
+    # -- allocation ------------------------------------------------------
+
+    @abstractmethod
+    def allocate(self) -> int:
+        """Reserve a fresh block and return its id."""
+
+    @property
+    @abstractmethod
+    def num_blocks(self) -> int:
+        """Number of allocated blocks (including never-written ones)."""
+
+    @abstractmethod
+    def _check_id(self, block_id: int) -> None:
+        """Raise :class:`BlockBoundsError` for an out-of-range id."""
+
+    # -- I/O (template: transform at the boundary, at-rest below) --------
+
+    def write_block(self, block_id: int, data: bytes) -> None:
+        """Write plain bytes; the transform runs before the platter."""
+        self._check_id(block_id)
+        stored = self.transform.on_write(block_id, data) if self.transform else data
+        if len(stored) > self.block_size:
+            raise BlockBoundsError(
+                f"payload of {len(stored)} bytes overflows {self.block_size}-byte block",
+                block_id=block_id,
+            )
+        self._store(block_id, stored)
+
+    def read_block(self, block_id: int) -> bytes:
+        """Read a block; the transform is inverted after the platter."""
+        self._check_id(block_id)
+        stored = self._fetch(block_id)
+        return self.transform.on_read(block_id, stored) if self.transform else stored
+
+    @abstractmethod
+    def _store(self, block_id: int, stored: bytes) -> None:
+        """Land at-rest bytes: statistics, journal dedup, persistence."""
+
+    @abstractmethod
+    def _fetch(self, block_id: int) -> bytes:
+        """Return at-rest bytes (raising for a never-written block)."""
+
+    # -- whole-platter state (process-executor support) ------------------
+
+    @abstractmethod
+    def export_state(self) -> list[bytes | None]:
+        """Every block slot -- written or not -- in platter order.
+
+        A state *transfer*, not I/O: neither the statistics nor the
+        transform are touched (the bytes are already at rest).
+        """
+
+    @abstractmethod
+    def import_state(self, blocks: list[bytes | None]) -> None:
+        """Replace the entire platter with :meth:`export_state` output.
+
+        A state transfer: statistics untouched, oversized blocks
+        rejected exactly as a physical write would reject them, and the
+        change journal *tainted* -- its history described the replaced
+        platter.
+        """
+
+    @abstractmethod
+    def snapshot_blocks(self, block_ids) -> dict[int, bytes | None]:
+        """At-rest bytes of the listed blocks (a targeted export)."""
+
+    @abstractmethod
+    def patch_state(self, num_blocks: int, block_writes: dict[int, bytes | None]) -> None:
+        """Apply a targeted delta: grow to ``num_blocks``, set the ids."""
+
+    # -- the attacker's view ---------------------------------------------
+
+    @abstractmethod
+    def raw_block(self, block_id: int) -> bytes:
+        """Bytes at rest, as an opponent reading the platter sees them."""
+
+    @abstractmethod
+    def raw_blocks(self) -> list[tuple[int, bytes]]:
+        """Every written block, in platter order -- the full dump."""
+
+    # -- durability (optional; defaults describe the instant device) -----
+
+    def sync(self) -> int:
+        """Make every pending write durable; returns blocks made durable.
+
+        The commit-time barrier.  The in-memory device is always
+        "durable" (it dies with the process), so the default is a no-op.
+        """
+        return 0
+
+    def poll(self) -> set[int] | None:
+        """Block ids another handle of this device committed since our last look.
+
+        Supports journal-driven cache invalidation across processes:
+        ``set()`` means nothing changed (always true for a private
+        in-memory device), a non-empty set lists exactly the blocks
+        whose at-rest bytes moved, and ``None`` means the device cannot
+        prove completeness -- the caller must invalidate wholesale.
+        """
+        return set()
+
+    def close(self) -> None:
+        """Release any operating-system resources (default: none held)."""
+
+    def durability_snapshot(self) -> dict[str, int]:
+        """Durability counters in the one shared, mergeable shape."""
+        return {field: 0 for field in DURABILITY_FIELDS}
+
+    def _on_journal_seal(self, epoch: int, sealed_ids: frozenset[int]) -> None:
+        """Hook: the device's change journal sealed ``epoch``.
+
+        The file platter overrides this to make sealed epochs durable
+        (WAL-first); the in-memory device has nothing to do.
+        """

@@ -1,11 +1,20 @@
-"""A simulated block device with an encipherment hook at the I/O boundary.
+"""The in-memory block device with an encipherment hook at the I/O boundary.
 
 Bayer and Metzger *"suggest the use of [a] hardware encryption module to
 perform this 'on-the-fly' encryption and decryption"* as blocks cross the
 memory/disk boundary.  :class:`SimulatedDisk` reproduces that architecture:
-an optional :class:`BlockTransform` is applied to every block on write and
-inverted on every read, and the device keeps complete I/O statistics so
-experiments can report exact counts.
+an optional :class:`~repro.storage.device.BlockTransform` is applied to
+every block on write and inverted on every read, and the device keeps
+complete I/O statistics so experiments can report exact counts.
+
+Since PR 6 the device is one implementation of the
+:class:`~repro.storage.device.BlockDevice` interface (the durable
+:class:`~repro.storage.platter.FilePlatter` is the other); it stays the
+default backend because the paper's experiments count operations, not
+seconds.  For experiments that *do* want seconds to mean something, the
+optional ``latency_s`` parameter charges a fixed sleep per physical block
+read/write -- outside the device mutex, like the transform, so concurrent
+readers overlap their waits exactly as real spindles overlap seeks.
 
 The device also exposes :meth:`raw_block`, the attacker's view: the bytes
 actually resting on the platter, *without* the transform -- this feeds the
@@ -15,69 +24,26 @@ shape-reconstruction analysis (experiment C5).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Callable, Protocol
+import time
 
 from repro.exceptions import BlockBoundsError, StorageError
-from repro.storage.journal import ChangeJournal
+from repro.storage.device import (
+    BlockDevice,
+    BlockTransform,
+    DiskStats,
+    transform_from_page_key_scheme,
+)
+
+__all__ = [
+    "BlockTransform",
+    "DiskStats",
+    "SimulatedDisk",
+    "transform_from_page_key_scheme",
+]
 
 
-class BlockTransform(Protocol):
-    """The on-the-fly encipherment module between memory and disk."""
-
-    def on_write(self, block_id: int, data: bytes) -> bytes:
-        """Transform plain block bytes into their at-rest form."""
-        ...
-
-    def on_read(self, block_id: int, data: bytes) -> bytes:
-        """Invert :meth:`on_write`."""
-        ...
-
-
-@dataclass
-class DiskStats:
-    """Counters for physical block traffic.
-
-    ``overwrites`` counts writes landing on a block that already held
-    data -- the quantity a write-back pager drives down by coalescing
-    repeated rewrites of hot blocks (benchmark C7).
-    """
-
-    reads: int = 0
-    writes: int = 0
-    overwrites: int = 0
-    bytes_read: int = 0
-    bytes_written: int = 0
-
-    def reset(self) -> None:
-        self.reads = 0
-        self.writes = 0
-        self.overwrites = 0
-        self.bytes_read = 0
-        self.bytes_written = 0
-
-
-@dataclass
-class _PageKeyTransform:
-    """Adapter turning a page-key scheme into a :class:`BlockTransform`."""
-
-    encrypt: Callable[[int, bytes], bytes]
-    decrypt: Callable[[int, bytes], bytes]
-
-    def on_write(self, block_id: int, data: bytes) -> bytes:
-        return self.encrypt(block_id, data)
-
-    def on_read(self, block_id: int, data: bytes) -> bytes:
-        return self.decrypt(block_id, data)
-
-
-def transform_from_page_key_scheme(scheme) -> BlockTransform:
-    """Wrap a :class:`repro.crypto.pagekey.PageKeyScheme` as a transform."""
-    return _PageKeyTransform(encrypt=scheme.encrypt_page, decrypt=scheme.decrypt_page)
-
-
-class SimulatedDisk:
-    """A growable array of fixed-size blocks with I/O accounting.
+class SimulatedDisk(BlockDevice):
+    """A growable in-memory array of fixed-size blocks with I/O accounting.
 
     Parameters
     ----------
@@ -89,6 +55,13 @@ class SimulatedDisk:
         Optional encipherment module applied at the I/O boundary.  When a
         transform expands data (padding), the *expanded* form must fit the
         block, exactly as it would on hardware.
+    latency_s:
+        Simulated seconds charged per physical block read or write
+        (default ``0.0`` -- instant, the paper-faithful cost model).
+        The sleep runs outside the device mutex, so concurrent readers
+        overlap their waits; it models device service time, letting the
+        executor and cache benchmarks show I/O-overlap effects without a
+        real file.  Mutable at runtime (benchmarks flip it per arm).
 
     The device is thread-safe: the block array and the statistics are
     guarded by an internal mutex, so concurrent readers admitted by the
@@ -97,18 +70,16 @@ class SimulatedDisk:
     hardware module enciphers streams independently of platter arbitration.
     """
 
-    def __init__(self, block_size: int = 4096, transform: BlockTransform | None = None) -> None:
-        if block_size < 16:
-            raise StorageError(f"block size {block_size} is unrealistically small")
-        self.block_size = block_size
-        self.transform = transform
-        self.stats = DiskStats()
-        #: Ledger of mutated block ids for incremental replica sync; a
-        #: write whose at-rest bytes equal what the platter already held
-        #: is *not* journaled (nothing changed, nothing to ship), which
-        #: is what keeps no-op commits -- identical superblock rewrites
-        #: -- invisible to the sync protocol.
-        self.journal = ChangeJournal()
+    def __init__(
+        self,
+        block_size: int = 4096,
+        transform: BlockTransform | None = None,
+        latency_s: float = 0.0,
+    ) -> None:
+        super().__init__(block_size, transform)
+        if latency_s < 0.0:
+            raise StorageError(f"negative device latency: {latency_s}")
+        self.latency_s = latency_s
         self._blocks: list[bytes | None] = []
         self._lock = threading.Lock()
 
@@ -134,15 +105,13 @@ class SimulatedDisk:
 
     # -- I/O -----------------------------------------------------------------
 
-    def write_block(self, block_id: int, data: bytes) -> None:
-        """Write plain bytes; the transform runs before the platter."""
-        self._check_id(block_id)
-        stored = self.transform.on_write(block_id, data) if self.transform else data
-        if len(stored) > self.block_size:
-            raise BlockBoundsError(
-                f"payload of {len(stored)} bytes overflows {self.block_size}-byte block",
-                block_id=block_id,
-            )
+    def _wait(self) -> None:
+        """Charge the configured service time (outside the mutex)."""
+        if self.latency_s > 0.0:
+            time.sleep(self.latency_s)
+
+    def _store(self, block_id: int, stored: bytes) -> None:
+        self._wait()
         with self._lock:
             if self._blocks[block_id] is not None:
                 self.stats.overwrites += 1
@@ -152,9 +121,8 @@ class SimulatedDisk:
             self.stats.writes += 1
             self.stats.bytes_written += len(stored)
 
-    def read_block(self, block_id: int) -> bytes:
-        """Read a block; the transform is inverted after the platter."""
-        self._check_id(block_id)
+    def _fetch(self, block_id: int) -> bytes:
+        self._wait()
         with self._lock:
             stored = self._blocks[block_id]
             if stored is None:
@@ -163,7 +131,7 @@ class SimulatedDisk:
                 )
             self.stats.reads += 1
             self.stats.bytes_read += len(stored)
-        return self.transform.on_read(block_id, stored) if self.transform else stored
+        return stored
 
     # -- whole-platter state (process-executor support) ------------------
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable
 
 
 class ChangeJournal:
@@ -44,12 +45,24 @@ class ChangeJournal:
     Thread-safe and lock-leaf: every method takes only the journal's own
     mutex, so it may be called from under any owner lock.  ``note`` is
     the hot-path operation -- one set-add under an uncontended lock.
+
+    ``on_seal`` (optional) is invoked as ``on_seal(epoch, sealed_ids)``
+    after every :meth:`seal`, *outside* the journal's mutex so the
+    callback may take its owner's locks freely.  It is how a durable
+    block device learns that an epoch closed and must reach its
+    write-ahead log -- the journal stays the single source of "what
+    changed, under which epoch" for both replica sync and persistence.
     """
 
-    def __init__(self, max_epochs: int = 64) -> None:
+    def __init__(
+        self,
+        max_epochs: int = 64,
+        on_seal: "Callable[[int, frozenset[int]], None] | None" = None,
+    ) -> None:
         if max_epochs < 1:
             raise ValueError("a journal must retain at least one epoch")
         self.max_epochs = max_epochs
+        self.on_seal = on_seal
         self._lock = threading.Lock()
         self._open: set[int] = set()
         self._sealed: "OrderedDict[int, frozenset[int]]" = OrderedDict()
@@ -79,23 +92,29 @@ class ChangeJournal:
         epoch only through a full snapshot or a delta built on one).
         """
         with self._lock:
+            sealed_ids = frozenset(self._open)
             if self._floor is None:
                 self._open.clear()
                 self._sealed.clear()
                 self._floor = epoch
-                return
-            if epoch in self._sealed:
-                # a repeated seal merges rather than overwrites: an
-                # overwrite would silently drop the first seal's ids
-                # from history while consumers at older epochs still
-                # rely on them
-                self._sealed[epoch] = self._sealed[epoch] | frozenset(self._open)
             else:
-                self._sealed[epoch] = frozenset(self._open)
-            self._open.clear()
-            while len(self._sealed) > self.max_epochs:
-                dropped, _ = self._sealed.popitem(last=False)
-                self._floor = dropped  # history <= dropped is gone
+                if epoch in self._sealed:
+                    # a repeated seal merges rather than overwrites: an
+                    # overwrite would silently drop the first seal's ids
+                    # from history while consumers at older epochs still
+                    # rely on them
+                    self._sealed[epoch] = self._sealed[epoch] | sealed_ids
+                else:
+                    self._sealed[epoch] = sealed_ids
+                self._open.clear()
+                while len(self._sealed) > self.max_epochs:
+                    dropped, _ = self._sealed.popitem(last=False)
+                    self._floor = dropped  # history <= dropped is gone
+        if self.on_seal is not None:
+            # outside the mutex: the callback (a durable device's
+            # WAL-append) takes its owner's locks and must not nest
+            # inside this leaf lock
+            self.on_seal(epoch, sealed_ids)
 
     def taint(self) -> None:
         """Wholesale state replacement: all prior history is void."""

@@ -1,6 +1,9 @@
 """Block allocation and a two-level block cache with two write policies.
 
-The pager sits between the B-Tree and the simulated disk.  Both of its
+The pager sits between the B-Tree and the block device (the in-memory
+:class:`~repro.storage.disk.SimulatedDisk` or the durable
+:class:`~repro.storage.platter.FilePlatter` -- any
+:class:`~repro.storage.device.BlockDevice`).  Both of its
 cache levels are :class:`~repro.storage.cache.LRUCache` instances -- the
 one caching subsystem every layer of the read path shares:
 
@@ -48,7 +51,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.storage.cache import LRUCache
-from repro.storage.disk import SimulatedDisk
+from repro.storage.device import BlockDevice
 from repro.storage.journal import DiskDelta
 
 
@@ -136,7 +139,7 @@ class Pager:
 
     def __init__(
         self,
-        disk: SimulatedDisk,
+        disk: BlockDevice,
         cache_blocks: int = 64,
         write_back: bool = False,
         decoded_cache_blocks: int = 0,
