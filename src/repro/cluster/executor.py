@@ -69,6 +69,7 @@ from repro.core.database import EncipheredDatabase
 from repro.core.records import RecordStore
 from repro.crypto.base import IntegerCipher
 from repro.exceptions import StorageError
+from repro.obs import ObsConfig
 from repro.storage.disk import SimulatedDisk
 from repro.substitution.base import KeySubstitution
 
@@ -102,6 +103,10 @@ class ShardSpec:
     cache_blocks: int
     decoded_node_cache_blocks: int
     decoded_node_cache_bytes: int
+    #: The parent shard's observability switch, so the worker's replica
+    #: instruments identically -- its histogram/heat deltas then merge
+    #: into one coherent cross-process picture.
+    obs_config: ObsConfig | None = None
 
     @property
     def payload_bytes(self) -> int:
@@ -126,6 +131,7 @@ class ShardSpec:
             cache_blocks=self.cache_blocks,
             decoded_node_cache_blocks=self.decoded_node_cache_blocks,
             decoded_node_cache_bytes=self.decoded_node_cache_bytes,
+            observability=self.obs_config,
         )
 
 
@@ -177,6 +183,7 @@ def spec_from_shard(
             cache_blocks=shard.tree.pager.capacity,
             decoded_node_cache_blocks=shard.tree.pager.decoded.capacity,
             decoded_node_cache_bytes=shard.tree.pager.decoded.max_bytes,
+            obs_config=shard.obs.config,
         )
 
 
@@ -237,6 +244,10 @@ def _shard_worker(conn) -> None:
                 ))
             elif op == "stats":
                 conn.send(("ok", db.stats()))
+            elif op == "heat":
+                # the variable-shape block-heat map travels on its own
+                # channel; the parent delta-folds it like the counters
+                conn.send(("ok", db.obs.heat.block_counts()))
             elif op == "clear_caches":
                 db.clear_caches()
                 conn.send(("ok", None))
@@ -308,6 +319,10 @@ class ProcessShardExecutor:
         # from replicas that were since replaced or shut down.
         self._base: list[dict[str, object] | None] = [None] * num_shards
         self._harvested: list[list[dict[str, object]]] = [[] for _ in range(num_shards)]
+        # Block-heat accounting, mirroring the counter baseline: what of
+        # worker i's block-touch map has already been folded into the
+        # parent shard's HeatMap.
+        self._heat_base: list[dict[int, int]] = [{} for _ in range(num_shards)]
         # One request/reply may be in flight per pipe; concurrent cluster
         # calls (the thread backend's bread and butter) must not
         # interleave frames, so parent-side dispatch is serialised.
@@ -349,6 +364,7 @@ class ProcessShardExecutor:
         self._conns[index] = parent_conn
         self.epochs_sent[index] = -1
         self._base[index] = None
+        self._heat_base[index] = {}
 
     def sync(self, index: int, shard: EncipheredDatabase, epoch: int) -> None:
         """Make worker ``index`` hold the parent's current shard state.
@@ -365,31 +381,37 @@ class ProcessShardExecutor:
             self._ensure_worker(index)
             if self.epochs_sent[index] == epoch:
                 return
-            self.harvest(index)  # the stale replica's work must keep counting
+            # the stale replica's work must keep counting (heat included)
+            self.harvest(index, shard)
             delta = None
             if self.delta_sync and self.epochs_sent[index] >= 0:
                 delta = shard.collect_delta(self.epochs_sent[index], epoch)
             if delta is not None:
                 delta.index = index
-                self._base[index] = self._request(index, "delta", delta)
+                with shard.obs.trace("executor.delta_ship"):
+                    self._base[index] = self._request(index, "delta", delta)
                 self.sync_stats["delta_ships"] += 1
                 self.sync_stats["delta_bytes"] += delta.payload_bytes
                 self.sync_stats["delta_blocks"] += delta.blocks_shipped
             else:
-                spec = spec_from_shard(
-                    shard,
-                    index,
-                    self._substitution_factory,
-                    self._pointer_cipher_factory,
-                    checkpoint_epoch=epoch if self.delta_sync else None,
-                )
-                try:
-                    self._base[index] = self._request(index, "open", spec)
-                except (pickle.PicklingError, AttributeError, TypeError) as exc:
-                    raise StorageError(
-                        "executor='processes' requires picklable substitution and "
-                        f"pointer-cipher factories (module-level functions): {exc}"
-                    ) from exc
+                with shard.obs.trace("executor.full_ship"):
+                    spec = spec_from_shard(
+                        shard,
+                        index,
+                        self._substitution_factory,
+                        self._pointer_cipher_factory,
+                        checkpoint_epoch=epoch if self.delta_sync else None,
+                    )
+                    try:
+                        self._base[index] = self._request(index, "open", spec)
+                    except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                        raise StorageError(
+                            "executor='processes' requires picklable substitution and "
+                            f"pointer-cipher factories (module-level functions): {exc}"
+                        ) from exc
+                # "open" replaced the replica wholesale: its block-touch
+                # map restarted from zero alongside its counters
+                self._heat_base[index] = {}
                 self.sync_stats["full_ships"] += 1
                 self.sync_stats["full_bytes"] += spec.payload_bytes
             self.epochs_sent[index] = epoch
@@ -449,8 +471,14 @@ class ProcessShardExecutor:
 
     # -- counter rollup --------------------------------------------------
 
-    def harvest(self, index: int) -> None:
-        """Fold worker ``index``'s counter delta into the kept totals."""
+    def harvest(self, index: int, shard: EncipheredDatabase | None = None) -> None:
+        """Fold worker ``index``'s counter delta into the kept totals.
+
+        Given the parent ``shard``, the worker's record-block heat delta
+        is folded into the shard's :class:`~repro.obs.heat.HeatMap` in
+        the same pass (the variable-shape map cannot ride in the counter
+        dicts).
+        """
         with self._dispatch_lock:
             if self._base[index] is None or self._conns[index] is None:
                 return
@@ -461,6 +489,23 @@ class ProcessShardExecutor:
             delta = subtract_counter_dicts(current, self._base[index])
             self._harvested[index].append(_zero_nonadditive(delta))
             self._base[index] = current
+            if shard is not None and shard.obs.enabled:
+                try:
+                    shard.obs.heat.add_blocks(self._heat_delta(index))
+                except StorageError:
+                    pass  # worker died between requests; heat lost with it
+
+    def _heat_delta(self, index: int) -> dict[int, int]:
+        """Worker ``index``'s block touches not yet folded into the parent."""
+        current: dict[int, int] = self._request(index, "heat", None)
+        base = self._heat_base[index]
+        delta = {
+            block_id: n - base.get(block_id, 0)
+            for block_id, n in current.items()
+            if n - base.get(block_id, 0)
+        }
+        self._heat_base[index] = current
+        return delta
 
     def rebase(self, index: int, stats_after: dict[str, object]) -> None:
         """Absorb a state-shipping op's counters after installing its state.
@@ -477,13 +522,22 @@ class ProcessShardExecutor:
             self._harvested[index].append(_zero_nonadditive(delta))
             self._base[index] = stats_after
 
-    def extra_counters(self, index: int) -> list[dict[str, object]]:
-        """Counter dicts to merge into shard ``index``'s parent stats."""
+    def extra_counters(
+        self, index: int, shard: EncipheredDatabase | None = None
+    ) -> list[dict[str, object]]:
+        """Counter dicts to merge into shard ``index``'s parent stats.
+
+        ``shard`` additionally folds the worker's live block-heat delta
+        into the parent's heat map (see :meth:`harvest`), so a
+        ``stats()`` call observes up-to-date heat as well.
+        """
         with self._dispatch_lock:
             extras = list(self._harvested[index])
             if self._base[index] is not None and self._conns[index] is not None:
                 try:
                     current = self._request(index, "stats", None)
+                    if shard is not None and shard.obs.enabled:
+                        shard.obs.heat.add_blocks(self._heat_delta(index))
                 except StorageError:
                     return extras
                 extras.append(

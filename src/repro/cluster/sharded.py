@@ -57,6 +57,7 @@ from repro.core.records import RecordStore
 from repro.crypto.base import IntegerCipher
 from repro.crypto.des import DES
 from repro.exceptions import BTreeError, DuplicateKeyError, StorageError
+from repro.obs import ObsConfig
 from repro.storage.backend import StorageBackend
 from repro.storage.device import BlockDevice
 from repro.substitution.base import KeySubstitution
@@ -176,6 +177,7 @@ class ShardedEncipheredDatabase:
         executor: str = "threads",
         delta_sync: bool = True,
         backend: StorageBackend | None = None,
+        observability: ObsConfig | None = None,
     ) -> "ShardedEncipheredDatabase":
         """Initialise ``num_shards`` fresh shards with derived secrets.
 
@@ -222,6 +224,7 @@ class ShardedEncipheredDatabase:
                 decoded_node_cache_blocks=decoded_node_cache_blocks,
                 decoded_node_cache_bytes=decoded_node_cache_bytes,
                 backend=backend.scoped(scopes[i]) if backend is not None else None,
+                observability=observability,
             )
             for i in range(num_shards)
         ]
@@ -267,6 +270,7 @@ class ShardedEncipheredDatabase:
         validate_routing: bool = True,
         executor: str = "threads",
         delta_sync: bool = True,
+        observability: ObsConfig | None = None,
     ) -> "ShardedEncipheredDatabase":
         """Rebuild a cluster from each shard's platters and the secrets.
 
@@ -302,6 +306,7 @@ class ShardedEncipheredDatabase:
                 record_cache_blocks=record_cache_blocks,
                 decoded_node_cache_blocks=decoded_node_cache_blocks,
                 decoded_node_cache_bytes=decoded_node_cache_bytes,
+                observability=observability,
             )
             for i, (disk, records) in enumerate(parts)
         ]
@@ -338,6 +343,7 @@ class ShardedEncipheredDatabase:
         validate_routing: bool = True,
         executor: str = "threads",
         delta_sync: bool = True,
+        observability: ObsConfig | None = None,
     ) -> "ShardedEncipheredDatabase":
         """Rebuild a cluster from its backend and the base secrets alone.
 
@@ -373,6 +379,7 @@ class ShardedEncipheredDatabase:
                 record_cache_blocks=record_cache_blocks,
                 decoded_node_cache_blocks=decoded_node_cache_blocks,
                 decoded_node_cache_bytes=decoded_node_cache_bytes,
+                observability=observability,
             )
             for i in range(manifest.num_shards)
         ]
@@ -526,12 +533,16 @@ class ShardedEncipheredDatabase:
         On durable backends this closes every shard's platter files
         (after their final sync); on in-memory devices the close is a
         no-op and the cluster object remains usable, which existing
-        callers rely on.
+        callers rely on.  Worker replicas' record-block heat is
+        harvested into the parent shards first, so the heat each shard
+        persists on close covers every process that touched it.
         """
         self.commit()
+        if self._procs is not None:
+            for i, shard in enumerate(self.shards):
+                self._procs.harvest(i, shard)
         for shard in self.shards:
-            shard.records.disk.close()
-            shard.disk.close()
+            shard.close()
         with self._executor_lock:
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
@@ -823,10 +834,13 @@ class ShardedEncipheredDatabase:
 
     # -- cache warming ----------------------------------------------------
 
-    def warm(self, levels: int = 2) -> int:
+    def warm(self, levels: int = 2, hot_record_blocks: int = 0) -> int:
         """Pre-decode every shard's top tree levels into its node caches.
 
-        Fans out per shard like any read.  With the process backend,
+        Fans out per shard like any read.  ``hot_record_blocks`` asks
+        each shard to additionally pre-decode up to that many of its
+        hottest record blocks (live heat plus any persisted heat adopted
+        at reopen -- see :meth:`load_heat`).  With the process backend,
         live worker replicas are warmed too (after the usual epoch
         sync), because that is where process-backend queries actually
         run; their warming work rolls up into ``stats()`` like every
@@ -834,7 +848,10 @@ class ShardedEncipheredDatabase:
         """
         shard_ids = list(range(len(self.shards)))
         warmed = sum(
-            self._fan_out(lambda i: self.shards[i].warm(levels), shard_ids)
+            self._fan_out(
+                lambda i: self.shards[i].warm(levels, hot_record_blocks),
+                shard_ids,
+            )
         )
         if self._use_processes(shard_ids):
             try:
@@ -844,6 +861,28 @@ class ShardedEncipheredDatabase:
             except UncommittedShardState:
                 pass  # racing writer left dirt: parent-side warm stands
         return warmed
+
+    def save_heat(self) -> int:
+        """Persist every shard's record-block heat map to its backend.
+
+        Worker replicas' heat is harvested into the parent shards first,
+        so the persisted maps cover every process that served traffic.
+        Returns the number of shards that saved a map (shards without a
+        backend are skipped).
+        """
+        if self._procs is not None:
+            for i, shard in enumerate(self.shards):
+                self._procs.harvest(i, shard)
+        return sum(1 for shard in self.shards if shard.save_heat())
+
+    def load_heat(self) -> int:
+        """Adopt each shard's persisted heat map as its warming seed.
+
+        Returns the number of shards that found a map.  (The manifest
+        reopen path does this automatically; this is for clusters built
+        via :meth:`reopen` whose caller holds a backend per shard.)
+        """
+        return sum(1 for shard in self.shards if shard.load_heat() is not None)
 
     # -- transactions and durability -------------------------------------
 
@@ -938,8 +977,14 @@ class ShardedEncipheredDatabase:
         """
         per_shard = []
         for i, shard in enumerate(self.shards):
+            extras = (
+                self._procs.extra_counters(i, shard)
+                if self._procs is not None
+                else []
+            )
+            # extras first: extra_counters folds worker block heat into
+            # the shard, which the shard's own snapshot then reflects
             base = shard.stats()
-            extras = self._procs.extra_counters(i) if self._procs is not None else []
             per_shard.append(merge_counter_dicts([base, *extras]) if extras else base)
         return ClusterStats(
             router=self.router.name,

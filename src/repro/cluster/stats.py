@@ -110,6 +110,36 @@ class ClusterStats:
     def node_decoded_cache_hit_rate(self) -> float:
         return self._hit_rate(self.node_decoded_cache)
 
+    # -- observability rollups -------------------------------------------
+
+    @property
+    def observability(self) -> dict[str, object]:
+        """Cluster-wide merged latency histograms, heat and span counts."""
+        return self.aggregate["observability"]
+
+    @property
+    def latency(self) -> dict[str, object]:
+        """Merged per-instrument latency histogram snapshots."""
+        return self.observability["latency"]
+
+    @property
+    def heat(self) -> dict[str, object]:
+        """Cluster-wide key-range heat counters (see ``shard_heat``)."""
+        return self.observability["heat"]
+
+    @property
+    def shard_heat(self) -> list[dict[str, object]]:
+        """Per-shard key-range heat -- the hot-shard-splitting signal."""
+        return [s["observability"]["heat"] for s in self.per_shard]
+
+    def hottest_shards(self) -> list[tuple[int, int]]:
+        """``(shard_id, ops)`` pairs sorted busiest first (ties by id)."""
+        ranked = sorted(
+            ((heat["ops"], i) for i, heat in enumerate(self.shard_heat)),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        return [(i, ops) for ops, i in ranked]
+
     def summary(self) -> str:
         """One human-readable line per shard plus the rollup."""
         lines = []
@@ -138,5 +168,12 @@ class ClusterStats:
                 f"replica sync: {sync['delta_ships']} delta ships "
                 f"({sync['delta_bytes']} B), {sync['full_ships']} full ships "
                 f"({sync['full_bytes']} B)"
+            )
+        heat = agg.get("observability", {}).get("heat")
+        if heat and heat.get("ops"):
+            busiest = self.hottest_shards()[0]
+            lines.append(
+                f"heat: {heat['ops']} ops over {heat['keys']} keys; "
+                f"busiest shard {busiest[0]} ({busiest[1]} ops)"
             )
         return "\n".join(lines)

@@ -78,6 +78,7 @@ report exact totals without a lock on any hot-path increment.
 
 from __future__ import annotations
 
+import json
 from contextlib import contextmanager
 from typing import Iterable, Iterator
 
@@ -90,6 +91,7 @@ from repro.crypto.base import CountingCipher, IntegerCipher
 from repro.crypto.des import DES
 from repro.crypto.modes import CBCCipher
 from repro.exceptions import CryptoError, IntegrityError, KeyNotFoundError, StorageError
+from repro.obs import ObsConfig, Observability
 from repro.storage.backend import StorageBackend
 from repro.storage.device import BlockDevice
 from repro.storage.disk import SimulatedDisk
@@ -104,7 +106,7 @@ _MAGIC = b"HSBT1990"
 class WarmingCounters(ThreadSafeCounters):
     """Cache-warming work, counted separately from organic traffic."""
 
-    _FIELDS = ("nodes_warmed",)
+    _FIELDS = ("nodes_warmed", "record_blocks_warmed")
 
 
 def _counting(pointer_cipher: IntegerCipher) -> CountingCipher:
@@ -130,6 +132,7 @@ class EncipheredDatabase:
         super_key: bytes,
         tree: BTree,
         autocommit: bool = True,
+        observability: ObsConfig | Observability | None = None,
     ) -> None:
         self.substitution = substitution
         self.pointer_cipher = _counting(pointer_cipher)
@@ -137,6 +140,26 @@ class EncipheredDatabase:
         self.records = records
         self._super_key = super_key
         self.tree = tree
+        #: The observability plane: latency histograms, span tracing and
+        #: heat tracking behind one switch (see :mod:`repro.obs`).  The
+        #: database threads its tracer through every layer it owns, so a
+        #: bare ``Pager``/device built elsewhere keeps the shared
+        #: disabled tracer while ours records.
+        try:
+            universe = substitution.key_universe()
+        except Exception:
+            universe = None
+        if isinstance(observability, Observability):
+            self.obs = observability
+        else:
+            self.obs = Observability(observability, universe=universe)
+        tracer = self.obs.tracer
+        tree.pager.tracer = tracer
+        disk.tracer = tracer
+        records.attach_tracer(tracer)
+        #: The backend this database was created/reopened from, when
+        #: known -- the home of the persisted heat blob.
+        self._backend: StorageBackend | None = None
         #: When ``True`` (default) every mutation ends with a
         #: :meth:`commit`; when ``False`` the caller owns the commit
         #: points.  :meth:`transaction` toggles this per scope.
@@ -211,6 +234,7 @@ class EncipheredDatabase:
         decoded_node_cache_blocks: int = 0,
         decoded_node_cache_bytes: int = 0,
         backend: StorageBackend | None = None,
+        observability: ObsConfig | None = None,
     ) -> "EncipheredDatabase":
         """Initialise a fresh database (block 0 reserved for the superblock).
 
@@ -250,7 +274,8 @@ class EncipheredDatabase:
                               backend=backend,
                               create=True if backend is not None else None)
         db = cls(substitution, counting, disk, records, super_key, tree,
-                 autocommit=autocommit)
+                 autocommit=autocommit, observability=observability)
+        db._backend = backend
         db.commit()  # superblock + the fresh root reach the platter
         return db
 
@@ -269,6 +294,7 @@ class EncipheredDatabase:
         record_cache_blocks: int | None = None,
         decoded_node_cache_blocks: int = 0,
         decoded_node_cache_bytes: int = 0,
+        observability: ObsConfig | None = None,
     ) -> "EncipheredDatabase":
         """Rebuild a handle from the platter and the secrets alone.
 
@@ -294,7 +320,7 @@ class EncipheredDatabase:
                 f"superblock records {size} keys, tree holds {tree.size}"
             )
         db = cls(substitution, counting, disk, records, super_key, tree,
-                 autocommit=autocommit)
+                 autocommit=autocommit, observability=observability)
         db._make_cold()  # attach's verification walk must not pre-warm
         return db
 
@@ -315,6 +341,7 @@ class EncipheredDatabase:
         record_cache_blocks: int = 0,
         decoded_node_cache_blocks: int = 0,
         decoded_node_cache_bytes: int = 0,
+        observability: ObsConfig | None = None,
     ) -> "EncipheredDatabase":
         """Reopen a database from its backend and the secrets alone.
 
@@ -334,7 +361,7 @@ class EncipheredDatabase:
             block_size=block_size,
             cache_blocks=record_cache_blocks,
         )
-        return cls.reopen(
+        db = cls.reopen(
             substitution,
             pointer_cipher,
             disk,
@@ -346,7 +373,17 @@ class EncipheredDatabase:
             record_cache_blocks=None,
             decoded_node_cache_blocks=decoded_node_cache_blocks,
             decoded_node_cache_bytes=decoded_node_cache_bytes,
+            observability=observability,
         )
+        db._backend = backend
+        try:
+            # adopt any persisted heat so warm() can pre-decode hot
+            # record blocks; a missing or corrupt blob is advisory data
+            # lost, never a failed reopen
+            db.load_heat()
+        except IntegrityError:
+            pass
+        return db
 
     # -- commit machinery ------------------------------------------------
 
@@ -361,18 +398,19 @@ class EncipheredDatabase:
         slots, never a superblock pointing at missing data.  Inside a
         :meth:`transaction` this establishes a new rollback point.
         """
-        with self.lock.write_locked():
-            for record_id in self._txn_record_deletes:
-                self.records.delete(record_id)
-            self._txn_record_deletes = []
-            self._txn_record_puts = []
-            self._write_superblock()
-            self.tree.pager.flush()
-            self.records.disk.sync()
-            self.disk.sync()
-            self.has_uncommitted_changes = False
-            if self._in_txn:
-                self._txn_snapshot = self.tree.snapshot_state()
+        with self.obs.trace("db.commit"):
+            with self.lock.write_locked():
+                for record_id in self._txn_record_deletes:
+                    self.records.delete(record_id)
+                self._txn_record_deletes = []
+                self._txn_record_puts = []
+                self._write_superblock()
+                self.tree.pager.flush()
+                self.records.disk.sync()
+                self.disk.sync()
+                self.has_uncommitted_changes = False
+                if self._in_txn:
+                    self._txn_snapshot = self.tree.snapshot_state()
 
     def rollback(self) -> None:
         """Discard every change since the last commit point.
@@ -452,50 +490,80 @@ class EncipheredDatabase:
     # -- record operations (superblock kept current) -----------------------
 
     def insert(self, key: int, record: bytes) -> None:
-        with self.lock.write_locked():
-            record_id = self.records.put(record)
-            try:
-                self.tree.insert(key, record_id)
-            except Exception:
-                self.records.delete(record_id)
-                raise
-            if self._in_txn:
-                self._txn_record_puts.append(record_id)
-            self._after_mutation()
+        obs = self.obs
+        span = obs.trace("db.put")
+        with span:
+            with self.lock.write_locked():
+                record_id = self.records.put(record)
+                try:
+                    self.tree.insert(key, record_id)
+                except Exception:
+                    self.records.delete(record_id)
+                    raise
+                if self._in_txn:
+                    self._txn_record_puts.append(record_id)
+                self._after_mutation()
+        if obs.enabled:
+            obs.heat.note_op((key,), span.duration_ns)
 
     def search(self, key: int) -> bytes:
-        with self.lock.read_locked():
-            return self.records.get(self.tree.search(key))
+        obs = self.obs
+        span = obs.trace("db.get")
+        with span:
+            with self.lock.read_locked():
+                record_id = self.tree.search(key)
+                result = self.records.get(record_id)
+        if obs.enabled:
+            obs.heat.note_op((key,), span.duration_ns)
+            obs.heat.note_blocks((record_id // self.records.slots_per_block,))
+        return result
 
     def get(self, key: int, default: bytes | None = None) -> bytes | None:
         """Like :meth:`search`, but returns ``default`` for absent keys."""
-        with self.lock.read_locked():
-            try:
-                record_id = self.tree.search(key)
-            except KeyNotFoundError:
-                return default
-            return self.records.get(record_id)
+        obs = self.obs
+        span = obs.trace("db.get")
+        record_id = None
+        with span:
+            with self.lock.read_locked():
+                try:
+                    record_id = self.tree.search(key)
+                except KeyNotFoundError:
+                    result = default
+                else:
+                    result = self.records.get(record_id)
+        if obs.enabled:
+            obs.heat.note_op((key,), span.duration_ns)
+            if record_id is not None:
+                obs.heat.note_blocks((record_id // self.records.slots_per_block,))
+        return result
 
     def __contains__(self, key: int) -> bool:
         with self.lock.read_locked():
             return self.tree.contains(key)
 
     def delete(self, key: int) -> None:
-        with self.lock.write_locked():
-            record_id = self.tree.search(key)
-            self.tree.delete(key)
-            if self._in_txn:
-                # defer the slot free: rollback must still find the bytes
-                self._txn_record_deletes.append(record_id)
-                self.has_uncommitted_changes = True
-                return
-            try:
-                self.records.delete(record_id)
-            finally:
-                # the index changed even if the slot free failed: the
-                # superblock must reflect the tree or reopen() rejects the
-                # database (the slot merely leaks until a later reuse)
-                self._after_mutation()
+        obs = self.obs
+        span = obs.trace("db.delete")
+        try:
+            with span:
+                with self.lock.write_locked():
+                    record_id = self.tree.search(key)
+                    self.tree.delete(key)
+                    if self._in_txn:
+                        # defer the slot free: rollback must still find the bytes
+                        self._txn_record_deletes.append(record_id)
+                        self.has_uncommitted_changes = True
+                        return
+                    try:
+                        self.records.delete(record_id)
+                    finally:
+                        # the index changed even if the slot free failed: the
+                        # superblock must reflect the tree or reopen() rejects the
+                        # database (the slot merely leaks until a later reuse)
+                        self._after_mutation()
+        finally:
+            if obs.enabled:
+                obs.heat.note_op((key,), span.duration_ns)
 
     def bulk_load(self, items: Iterable[tuple[int, bytes]]) -> None:
         """Ingest ``(key, record)`` pairs via the bottom-up tree build.
@@ -505,19 +573,24 @@ class EncipheredDatabase:
         requires an empty database.  On failure the stored records are
         freed again and the empty database stays usable.
         """
-        with self.lock.write_locked():
-            pairs: list[tuple[int, int]] = []
-            try:
-                for key, record in items:
-                    pairs.append((key, self.records.put(record)))
-                self.tree.bulk_load(pairs)
-            except Exception:
-                for _, record_id in pairs:
-                    self.records.delete(record_id)
-                raise
-            if self._in_txn:
-                self._txn_record_puts.extend(record_id for _, record_id in pairs)
-            self._after_mutation()
+        obs = self.obs
+        span = obs.trace("db.bulk_load")
+        with span:
+            with self.lock.write_locked():
+                pairs: list[tuple[int, int]] = []
+                try:
+                    for key, record in items:
+                        pairs.append((key, self.records.put(record)))
+                    self.tree.bulk_load(pairs)
+                except Exception:
+                    for _, record_id in pairs:
+                        self.records.delete(record_id)
+                    raise
+                if self._in_txn:
+                    self._txn_record_puts.extend(record_id for _, record_id in pairs)
+                self._after_mutation()
+        if obs.enabled:
+            obs.heat.note_op([key for key, _ in pairs], span.duration_ns)
 
     def _in_txn_owner(self) -> bool:
         """True iff the *calling thread* owns an open transaction scope.
@@ -546,14 +619,17 @@ class EncipheredDatabase:
         Returns the number of pairs inserted.
         """
         pairs = list(items)
-        if self._in_txn_owner():
-            for key, record in pairs:
-                self.insert(key, record)
+        # span only: the per-key inserts below carry the heat notes, so
+        # the batch wrapper never double-counts key touches
+        with self.obs.trace("db.put_many"):
+            if self._in_txn_owner():
+                for key, record in pairs:
+                    self.insert(key, record)
+                return len(pairs)
+            with self.transaction():
+                for key, record in pairs:
+                    self.insert(key, record)
             return len(pairs)
-        with self.transaction():
-            for key, record in pairs:
-                self.insert(key, record)
-        return len(pairs)
 
     def delete_many(self, keys: Iterable[int]) -> int:
         """Delete a batch of keys as one atomic unit (see :meth:`put_many`).
@@ -562,21 +638,30 @@ class EncipheredDatabase:
         the whole batch.  Returns the number of keys deleted.
         """
         key_list = list(keys)
-        if self._in_txn_owner():
-            for key in key_list:
-                self.delete(key)
+        with self.obs.trace("db.delete_many"):
+            if self._in_txn_owner():
+                for key in key_list:
+                    self.delete(key)
+                return len(key_list)
+            with self.transaction():
+                for key in key_list:
+                    self.delete(key)
             return len(key_list)
-        with self.transaction():
-            for key in key_list:
-                self.delete(key)
-        return len(key_list)
 
     def range_search(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
-        with self.lock.read_locked():
-            return [
-                (key, self.records.get(record_id))
-                for key, record_id in self.tree.range_search(lo, hi)
-            ]
+        obs = self.obs
+        span = obs.trace("db.range_search")
+        with span:
+            with self.lock.read_locked():
+                matches = self.tree.range_search(lo, hi)
+                result = [
+                    (key, self.records.get(record_id)) for key, record_id in matches
+                ]
+        if obs.enabled:
+            obs.heat.note_op([key for key, _ in matches], span.duration_ns)
+            spb = self.records.slots_per_block
+            obs.heat.note_blocks({record_id // spb for _, record_id in matches})
+        return result
 
     def items(self) -> Iterator[tuple[int, bytes]]:
         """Every ``(key, record)`` pair in ascending key order.
@@ -734,16 +819,73 @@ class EncipheredDatabase:
         """Commit pending work and release both devices' OS resources.
 
         A no-op beyond the commit for in-memory backends.  Do not call
-        inside a :meth:`transaction` scope.
+        inside a :meth:`transaction` scope.  With observability enabled
+        and a known backend the accumulated record-block heat is
+        persisted on the way out, so the *next* open can warm the blocks
+        this run proved hot.
         """
         if self.has_uncommitted_changes:
             self.commit()
+        if self._backend is not None and self.obs.enabled:
+            try:
+                self.save_heat()
+            except StorageError:
+                pass  # heat is advisory; closing must not fail over it
         self.records.disk.close()
         self.disk.close()
 
+    # -- persisted heat ---------------------------------------------------
+
+    def _heat_cipher(self) -> CBCCipher:
+        des = DES(self._super_key)
+        return CBCCipher(des, des.encrypt_block(b"HEATMAP0"))
+
+    def save_heat(self) -> bool:
+        """Persist the record-block heat map beside the devices.
+
+        Enciphered under the super key like the superblock -- the heat
+        map is an access-pattern oracle, exactly what the enciphered
+        database exists to deny an opponent.  Returns ``False`` when no
+        backend is known, ``True`` after a save.
+        """
+        if self._backend is None:
+            return False
+        blocks = self.obs.heat.combined_blocks()
+        payload = json.dumps(
+            {
+                "version": 1,
+                "blocks": {str(k): v for k, v in sorted(blocks.items())},
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        self._backend.save_blob("heat", self._heat_cipher().encrypt(payload))
+        return True
+
+    def load_heat(self) -> dict[int, int] | None:
+        """Adopt a persisted heat map as this handle's warming seed.
+
+        Returns the seeded ``{block_id: count}`` map, ``None`` when no
+        backend or no blob exists; raises :class:`IntegrityError` for a
+        blob that does not decipher or parse (wrong key or corruption).
+        """
+        if self._backend is None:
+            return None
+        blob = self._backend.load_blob("heat")
+        if blob is None:
+            return None
+        try:
+            doc = json.loads(self._heat_cipher().decrypt(blob).decode("utf-8"))
+            if doc["version"] != 1:
+                raise ValueError(f"unknown heat version {doc['version']!r}")
+            blocks = {int(k): int(v) for k, v in doc["blocks"].items()}
+        except (CryptoError, ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            raise IntegrityError(f"heat blob does not decipher: {exc}") from exc
+        self.obs.heat.seed_blocks(blocks)
+        return blocks
+
     # -- caches ----------------------------------------------------------
 
-    def warm(self, levels: int = 2) -> int:
+    def warm(self, levels: int = 2, hot_record_blocks: int = 0) -> int:
         """Pre-decode the root's top ``levels`` into the node caches.
 
         Closes part of the cold-reopen gap without waiting for organic
@@ -751,12 +893,25 @@ class EncipheredDatabase:
         cold).  The work is honest traversal work -- counted like any
         read -- and is additionally tallied under ``stats()``'s
         ``cache_warming`` so operators can see prefetch cost apart from
-        serving cost.  Returns the number of nodes touched.
+        serving cost.
+
+        ``hot_record_blocks > 0`` additionally pre-decodes up to that
+        many of the hottest record blocks known to the heat map
+        (live traffic plus any persisted heat adopted at reopen) into
+        the record cache.  Returns the total number of nodes and record
+        blocks touched.
         """
         with self.lock.read_locked():
             warmed = self.tree.warm(levels)
+            warmed_blocks = 0
+            if hot_record_blocks > 0:
+                warmed_blocks = self.records.warm_blocks(
+                    self.obs.heat.hot_blocks(hot_record_blocks)
+                )
         self.warming.bump("nodes_warmed", warmed)
-        return warmed
+        if warmed_blocks:
+            self.warming.bump("record_blocks_warmed", warmed_blocks)
+        return warmed + warmed_blocks
 
     def cache_config(self) -> dict[str, int]:
         """Capacity (in blocks) of each read-path cache level."""
@@ -818,6 +973,10 @@ class EncipheredDatabase:
                     "overwrites": disk.overwrites,
                     "bytes_read": disk.bytes_read,
                     "bytes_written": disk.bytes_written,
+                    "read_time_s": disk.read_time_s,
+                    "write_time_s": disk.write_time_s,
+                    "fsyncs": disk.fsyncs,
+                    "header_flips": disk.header_flips,
                 },
                 "record_disk": {
                     "reads": rdisk.reads,
@@ -825,6 +984,10 @@ class EncipheredDatabase:
                     "overwrites": rdisk.overwrites,
                     "bytes_read": rdisk.bytes_read,
                     "bytes_written": rdisk.bytes_written,
+                    "read_time_s": rdisk.read_time_s,
+                    "write_time_s": rdisk.write_time_s,
+                    "fsyncs": rdisk.fsyncs,
+                    "header_flips": rdisk.header_flips,
                 },
                 "pager": {
                     "hits": pager.hits,
@@ -861,4 +1024,8 @@ class EncipheredDatabase:
                     "merges": self.tree.counters.merges,
                     "borrows": self.tree.counters.borrows,
                 },
+                # latency histograms + key-range heat; every leaf is an
+                # additive number, so worker deltas harvest and cluster
+                # rollups merge exactly like the counters above
+                "observability": self.obs.snapshot(),
             }

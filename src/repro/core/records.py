@@ -36,6 +36,7 @@ from repro.crypto.base import CryptoOpCounts
 from repro.crypto.des import DES
 from repro.crypto.modes import CBCCipher
 from repro.exceptions import BlockBoundsError, StorageError
+from repro.obs.tracing import NULL_TRACER
 from repro.storage.backend import StorageBackend
 from repro.storage.cache import LRUCache
 from repro.storage.disk import SimulatedDisk
@@ -54,18 +55,23 @@ class _RecordBlockTransform:
         self.key = key
         self._des = DES(key)
         self.counts = CryptoOpCounts()
+        #: Span tracer timing whole-block cipher work; defaults to the
+        #: shared disabled tracer (see :meth:`RecordStore.attach_tracer`).
+        self.tracer = NULL_TRACER
 
     def _cipher(self, block_id: int) -> CBCCipher:
         iv = self._des.encrypt_block((block_id ^ 0xA5A5A5A5).to_bytes(8, "big"))
         return CBCCipher(self._des, iv)
 
     def on_write(self, block_id: int, data: bytes) -> bytes:
-        self.counts.bump("encryptions")
-        return self._cipher(block_id).encrypt(data)
+        with self.tracer.trace("cipher.record_encrypt"):
+            self.counts.bump("encryptions")
+            return self._cipher(block_id).encrypt(data)
 
     def on_read(self, block_id: int, data: bytes) -> bytes:
-        self.counts.bump("decryptions")
-        return self._cipher(block_id).decrypt(data)
+        with self.tracer.trace("cipher.record_decrypt"):
+            self.counts.bump("decryptions")
+            return self._cipher(block_id).decrypt(data)
 
 
 class RecordStore:
@@ -175,6 +181,11 @@ class RecordStore:
     def cipher_counts(self) -> CryptoOpCounts:
         """Whole-block record-cipher operation counters."""
         return self._transform.counts
+
+    def attach_tracer(self, tracer) -> None:
+        """Route cipher and device spans into the owning database's tracer."""
+        self._transform.tracer = tracer
+        self.disk.tracer = tracer
 
     @property
     def data_key(self) -> bytes:
@@ -462,6 +473,31 @@ class RecordStore:
     def clear_cache(self) -> int:
         """Drop every cached plaintext block (cold-start support)."""
         return self.cache.clear()
+
+    def warm_blocks(self, block_ids) -> int:
+        """Pre-decipher the listed blocks into the plaintext cache.
+
+        The record-side analogue of tree warming: fed from a persisted
+        heat map (see :meth:`repro.core.database.EncipheredDatabase.
+        warm`), it pays each block's decipher up front so the first real
+        reads hit plaintext.  Returns the number of blocks actually
+        warmed; ids beyond the store, never-written blocks, and ids the
+        (disabled or too-small) cache will not retain are skipped, not
+        errors -- a heat map from a previous session may describe blocks
+        that no longer exist.
+        """
+        if not self.cache.enabled:
+            return 0
+        warmed = 0
+        for block_id in block_ids:
+            if not 0 <= block_id < self.disk.num_blocks:
+                continue
+            try:
+                self._load_slots(block_id)
+            except (BlockBoundsError, StorageError):
+                continue
+            warmed += 1
+        return warmed
 
     # -- public API ------------------------------------------------------
 

@@ -1,0 +1,157 @@
+"""Per-key-range and per-record-block heat tracking.
+
+Two complementary maps, with deliberately different shapes:
+
+* **Key-range heat** -- the key universe is divided into
+  :data:`NUM_RANGES` equal bands and every database operation bumps the
+  bands its keys fall in, plus an ``ops`` count and a ``busy_ns`` total.
+  The shape is *fixed*, so the counts ride inside ``stats()`` like any
+  other counter family: they merge leaf-wise across shards, subtract
+  cleanly in the worker-harvest protocol, and roll up in
+  :class:`~repro.cluster.stats.ClusterStats` -- which is exactly the
+  per-shard/per-range signal the hot-shard-splitting roadmap item needs.
+* **Record-block heat** -- an open-ended ``block_id -> touch count``
+  dict.  Variable shape means it must **not** enter the mergeable stats
+  snapshot (the leaf-wise subtract requires identical keys), so it
+  travels through its own dedicated channel: a ``"heat"`` op on the
+  worker pipe protocol (delta-folded by the parent, mirroring the
+  counter harvest) and a :meth:`HeatMap.seed_blocks` /
+  ``save_heat()``/``load_heat()`` persistence path through the storage
+  backend, so ``warm()`` can pre-decipher the hottest record blocks on
+  the *next* open -- the carried-over "persisted heat map" item.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.counters import ThreadSafeCounters
+
+__all__ = ["HeatMap", "NUM_RANGES", "RANGE_FIELDS"]
+
+#: Number of equal key-universe bands tracked per shard.  Fixed so the
+#: heat counters have the same shape on every shard and every worker.
+NUM_RANGES = 32
+
+RANGE_FIELDS = tuple(f"r{i:02d}" for i in range(NUM_RANGES))
+
+
+class _RangeCounters(ThreadSafeCounters):
+    _FIELDS = ("ops", "keys", "busy_ns") + RANGE_FIELDS
+
+
+class HeatMap:
+    """Key-range heat counters plus a record-block touch map.
+
+    Parameters
+    ----------
+    universe:
+        The substitution's key universe; keys are mapped onto
+        :data:`NUM_RANGES` equal bands of it.  ``None`` falls back to a
+        ``[0, 2**32)`` band layout.
+    enabled:
+        When false every note is a no-op (one attribute check), matching
+        the tracer's asymmetric-cost design.
+    """
+
+    def __init__(self, universe: range | None = None, enabled: bool = False) -> None:
+        self.enabled = enabled
+        if universe is None or len(universe) == 0:
+            self._lo, self._span = 0, 1 << 32
+        else:
+            self._lo, self._span = universe.start, len(universe)
+        self._ranges = _RangeCounters()
+        self._block_lock = threading.Lock()
+        self._blocks: dict[int, int] = {}
+        self._seeded: dict[int, int] = {}
+
+    # -- key-range heat (fixed shape, rides in stats) ---------------------
+
+    def bucket_for(self, key: int) -> int:
+        """The band index a key falls in (clamped at the universe edges)."""
+        index = (key - self._lo) * NUM_RANGES // self._span
+        if index < 0:
+            return 0
+        return index if index < NUM_RANGES else NUM_RANGES - 1
+
+    def note_op(self, keys, duration_ns: int = 0) -> None:
+        """Record one operation touching ``keys``, taking ``duration_ns``."""
+        if not self.enabled:
+            return
+        bucket = self._ranges._mine()
+        bucket["ops"] += 1
+        bucket["busy_ns"] += duration_ns
+        n = 0
+        for key in keys:
+            bucket[RANGE_FIELDS[self.bucket_for(key)]] += 1
+            n += 1
+        bucket["keys"] += n
+
+    def range_bounds(self) -> list[tuple[int, int]]:
+        """Inclusive ``(lo, hi)`` key bounds of every band, in band order."""
+        return [
+            (
+                self._lo + index * self._span // NUM_RANGES,
+                self._lo + (index + 1) * self._span // NUM_RANGES - 1,
+            )
+            for index in range(NUM_RANGES)
+        ]
+
+    def snapshot(self) -> dict[str, int]:
+        """The fixed-shape, additive key-range counters."""
+        return self._ranges.snapshot()
+
+    # -- record-block heat (variable shape, dedicated channel) ------------
+
+    def note_blocks(self, block_ids) -> None:
+        """Record one touch of each listed record block."""
+        if not self.enabled:
+            return
+        with self._block_lock:
+            blocks = self._blocks
+            for block_id in block_ids:
+                blocks[block_id] = blocks.get(block_id, 0) + 1
+
+    def add_blocks(self, counts: dict[int, int]) -> None:
+        """Fold a harvested block-heat delta (e.g. from a worker) in."""
+        if not counts:
+            return
+        with self._block_lock:
+            blocks = self._blocks
+            for block_id, n in counts.items():
+                if n:
+                    blocks[block_id] = blocks.get(block_id, 0) + n
+
+    def block_counts(self) -> dict[int, int]:
+        """This session's live block touches (excluding seeded history)."""
+        with self._block_lock:
+            return dict(self._blocks)
+
+    def seed_blocks(self, counts: dict[int, int]) -> None:
+        """Install persisted block heat from a previous session."""
+        with self._block_lock:
+            self._seeded = {int(k): int(v) for k, v in counts.items()}
+
+    def seeded_blocks(self) -> dict[int, int]:
+        with self._block_lock:
+            return dict(self._seeded)
+
+    def combined_blocks(self) -> dict[int, int]:
+        """Live + seeded touches per block -- what persistence saves."""
+        with self._block_lock:
+            combined = dict(self._seeded)
+            for block_id, n in self._blocks.items():
+                combined[block_id] = combined.get(block_id, 0) + n
+            return combined
+
+    def hot_blocks(self, n: int) -> list[int]:
+        """The ``n`` hottest record blocks, hottest first.
+
+        Ties break on block id so the warming order is deterministic
+        (reproducibility is a benchmark requirement).
+        """
+        if n <= 0:
+            return []
+        combined = self.combined_blocks()
+        ranked = sorted(combined.items(), key=lambda item: (-item[1], item[0]))
+        return [block_id for block_id, _ in ranked[:n]]

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from repro.exceptions import BlockBoundsError, StorageError
+from repro.obs.tracing import NULL_TRACER
 from repro.storage.journal import ChangeJournal
 
 
@@ -63,6 +64,14 @@ class DiskStats:
     ``overwrites`` counts writes landing on a block that already held
     data -- the quantity a write-back pager drives down by coalescing
     repeated rewrites of hot blocks (benchmark C7).
+
+    ``read_time_s``/``write_time_s`` accumulate time the device spent in
+    physical I/O (the modeled service time for :class:`~repro.storage.
+    disk.SimulatedDisk`, measured wall time for :class:`~repro.storage.
+    platter.FilePlatter`); ``fsyncs`` and ``header_flips`` count the
+    durable device's barrier operations.  Together they are the signal
+    an async pager needs to decide what is worth overlapping (ROADMAP
+    item 1 follow-on); the instant in-memory device reports zeros.
     """
 
     reads: int = 0
@@ -70,6 +79,10 @@ class DiskStats:
     overwrites: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    read_time_s: float = 0.0
+    write_time_s: float = 0.0
+    fsyncs: int = 0
+    header_flips: int = 0
 
     def reset(self) -> None:
         self.reads = 0
@@ -77,6 +90,10 @@ class DiskStats:
         self.overwrites = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.read_time_s = 0.0
+        self.write_time_s = 0.0
+        self.fsyncs = 0
+        self.header_flips = 0
 
 
 @dataclass
@@ -131,6 +148,10 @@ class BlockDevice(ABC):
         self.block_size = block_size
         self.transform = transform
         self.stats = DiskStats()
+        #: Span tracer for durable-path instrumentation (WAL append,
+        #: fsync, header flip).  Defaults to the shared disabled tracer;
+        #: the owning database replaces it with its own.
+        self.tracer = NULL_TRACER
         #: Ledger of mutated block ids for incremental replica sync; a
         #: write whose at-rest bytes equal what the platter already held
         #: is *not* journaled (nothing changed, nothing to ship), which

@@ -105,13 +105,20 @@ class SimulatedDisk(BlockDevice):
 
     # -- I/O -----------------------------------------------------------------
 
-    def _wait(self) -> None:
-        """Charge the configured service time (outside the mutex)."""
+    def _wait(self) -> float:
+        """Charge the configured service time (outside the mutex).
+
+        Returns the seconds charged, so callers can account time-in-I/O
+        exactly as modeled (the sleep's wall-clock jitter is noise, not
+        service time).
+        """
         if self.latency_s > 0.0:
             time.sleep(self.latency_s)
+            return self.latency_s
+        return 0.0
 
     def _store(self, block_id: int, stored: bytes) -> None:
-        self._wait()
+        waited = self._wait()
         with self._lock:
             if self._blocks[block_id] is not None:
                 self.stats.overwrites += 1
@@ -120,9 +127,10 @@ class SimulatedDisk(BlockDevice):
             self._blocks[block_id] = stored
             self.stats.writes += 1
             self.stats.bytes_written += len(stored)
+            self.stats.write_time_s += waited
 
     def _fetch(self, block_id: int) -> bytes:
-        self._wait()
+        waited = self._wait()
         with self._lock:
             stored = self._blocks[block_id]
             if stored is None:
@@ -131,6 +139,7 @@ class SimulatedDisk(BlockDevice):
                 )
             self.stats.reads += 1
             self.stats.bytes_read += len(stored)
+            self.stats.read_time_s += waited
         return stored
 
     # -- whole-platter state (process-executor support) ------------------

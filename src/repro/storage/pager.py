@@ -50,6 +50,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.tracing import NULL_TRACER
 from repro.storage.cache import LRUCache
 from repro.storage.device import BlockDevice
 from repro.storage.journal import DiskDelta
@@ -149,6 +150,9 @@ class Pager:
         self.write_back = write_back
         self.retain_dirty = False
         self.stats = PagerStats()
+        #: Span tracer for read/write/flush timing; defaults to the
+        #: shared disabled tracer, replaced by the owning database.
+        self.tracer = NULL_TRACER
         self._raw = LRUCache(
             cache_blocks,
             on_evict=self._write_if_dirty,
@@ -201,22 +205,23 @@ class Pager:
         parallel.  Racing misses on the same block both read the platter;
         only the first fills the cache.
         """
-        with self._lock:
-            cached = self._raw.get(block_id)
-            if cached is not None:
-                self.stats.hits += 1
-                return cached
-            self.stats.misses += 1
-        data = self.disk.read_block(block_id)
-        with self._lock:
-            current = self._raw.peek(block_id)
-            if current is not None:
-                # a racing write (possibly dirty, newer than the platter)
-                # or fill beat us; theirs is authoritative
-                return current
-            if self._raw.enabled:
-                self._raw.put(block_id, data)
-        return data
+        with self.tracer.trace("pager.read"):
+            with self._lock:
+                cached = self._raw.get(block_id)
+                if cached is not None:
+                    self.stats.hits += 1
+                    return cached
+                self.stats.misses += 1
+            data = self.disk.read_block(block_id)
+            with self._lock:
+                current = self._raw.peek(block_id)
+                if current is not None:
+                    # a racing write (possibly dirty, newer than the
+                    # platter) or fill beat us; theirs is authoritative
+                    return current
+                if self._raw.enabled:
+                    self._raw.put(block_id, data)
+            return data
 
     def read_decoded(self, block_id: int, decode: Callable[[int, bytes], object]):
         """Read a block through the decoded-page cache.
@@ -248,20 +253,21 @@ class Pager:
         Either way the block's decoded entry is dropped -- the plaintext
         cache must never outlive the bytes it was decoded from.
         """
-        with self._lock:
-            self.stats.write_requests += 1
-            self.decoded.invalidate(block_id)
-            if self.write_back:
-                self._dirty.add(block_id)
-                # put() evicts over capacity, and eviction of a dirty
-                # page writes it (evict-writes-dirty) -- so with no cache
-                # at all this degenerates to write-through.
-                self._raw.put(block_id, data)
-            else:
-                self.stats.disk_writes += 1
-                self.disk.write_block(block_id, data)
-                if self._raw.enabled:
+        with self.tracer.trace("pager.write"):
+            with self._lock:
+                self.stats.write_requests += 1
+                self.decoded.invalidate(block_id)
+                if self.write_back:
+                    self._dirty.add(block_id)
+                    # put() evicts over capacity, and eviction of a dirty
+                    # page writes it (evict-writes-dirty) -- so with no
+                    # cache at all this degenerates to write-through.
                     self._raw.put(block_id, data)
+                else:
+                    self.stats.disk_writes += 1
+                    self.disk.write_block(block_id, data)
+                    if self._raw.enabled:
+                        self._raw.put(block_id, data)
 
     def flush(self) -> int:
         """Write every dirty page to disk; returns the number written.
@@ -272,14 +278,16 @@ class Pager:
         with self._lock:
             if not self._dirty:
                 return 0
-            for block_id in sorted(self._dirty):
-                self.stats.disk_writes += 1
-                self.disk.write_block(block_id, self._raw.peek(block_id))
-            flushed = len(self._dirty)
-            self._dirty.clear()
-            self.stats.flushes += 1
-            self._raw.enforce_capacity()  # clean pages are evictable again
-            return flushed
+            with self.tracer.trace("pager.flush"):
+                for block_id in sorted(self._dirty):
+                    self.stats.disk_writes += 1
+                    self.disk.write_block(block_id, self._raw.peek(block_id))
+                flushed = len(self._dirty)
+                self._dirty.clear()
+                self.stats.flushes += 1
+                # clean pages are evictable again
+                self._raw.enforce_capacity()
+                return flushed
 
     def discard_dirty(self) -> int:
         """Drop every dirty page *without* writing it (rollback support).

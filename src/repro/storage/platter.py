@@ -74,6 +74,7 @@ import os
 import struct
 import threading
 import zlib
+from time import perf_counter
 
 from repro.exceptions import BlockBoundsError, PlatterFormatError, StorageError
 from repro.storage.device import DURABILITY_FIELDS, BlockDevice, BlockTransform
@@ -375,6 +376,7 @@ class FilePlatter(BlockDevice):
             self._write_header_slot(last.counter, last.epoch, last.block_count)
             self._fsync_main()
             self._durability["header_flips"] += 1
+            self.stats.header_flips += 1
             self._durable_counter = last.counter
             self._durable_epoch = last.epoch
             self._durable_count = last.block_count
@@ -451,11 +453,15 @@ class FilePlatter(BlockDevice):
 
     def _fsync_main(self) -> None:
         if self.fsync:
-            os.fsync(self._fh.fileno())
+            with self.tracer.trace("platter.fsync"):
+                os.fsync(self._fh.fileno())
+            self.stats.fsyncs += 1
 
     def _fsync_wal(self) -> None:
         if self.fsync:
-            os.fsync(self._wal.fileno())
+            with self.tracer.trace("platter.fsync"):
+                os.fsync(self._wal.fileno())
+            self.stats.fsyncs += 1
 
     def _fault(self, point: str) -> None:
         hook = self.fault_hook
@@ -498,6 +504,7 @@ class FilePlatter(BlockDevice):
             self.stats.bytes_written += len(stored)
 
     def _fetch(self, block_id: int) -> bytes:
+        start = perf_counter()
         with self._lock:
             stored = self._at_rest(block_id)
             if stored is None:
@@ -506,6 +513,7 @@ class FilePlatter(BlockDevice):
                 )
             self.stats.reads += 1
             self.stats.bytes_read += len(stored)
+            self.stats.read_time_s += perf_counter() - start
         return stored
 
     # -- durability ------------------------------------------------------
@@ -527,20 +535,26 @@ class FilePlatter(BlockDevice):
             counter = self._durable_counter + 1
             epoch = self._last_sealed_epoch
             entries = sorted(self._pending.items())
+            sync_start = perf_counter()
             self._fault("sync:start")
 
-            parts = [_FRAME_BODY.pack(counter, epoch, self._count, len(entries))]
-            for block_id, payload in entries:
-                if payload is None:
-                    parts.append(_FRAME_ENTRY.pack(block_id, 0))
-                else:
-                    parts.append(_FRAME_ENTRY.pack(block_id, len(payload) + 1))
-                    parts.append(payload)
-            body = b"".join(parts)
-            self._wal.seek(0, os.SEEK_END)
-            frame_start = self._wal.tell()
-            self._wal.write(_FRAME_PREFIX.pack(len(body), zlib.crc32(body)) + body)
-            self._fsync_wal()
+            with self.tracer.trace("platter.wal_append"):
+                parts = [
+                    _FRAME_BODY.pack(counter, epoch, self._count, len(entries))
+                ]
+                for block_id, payload in entries:
+                    if payload is None:
+                        parts.append(_FRAME_ENTRY.pack(block_id, 0))
+                    else:
+                        parts.append(_FRAME_ENTRY.pack(block_id, len(payload) + 1))
+                        parts.append(payload)
+                body = b"".join(parts)
+                self._wal.seek(0, os.SEEK_END)
+                frame_start = self._wal.tell()
+                self._wal.write(
+                    _FRAME_PREFIX.pack(len(body), zlib.crc32(body)) + body
+                )
+                self._fsync_wal()
             self._durability["wal_frames"] += 1
             self._durability["wal_bytes"] += _FRAME_PREFIX.size + len(body)
             self._fault("wal:appended")
@@ -561,9 +575,11 @@ class FilePlatter(BlockDevice):
             self._fsync_main()
             self._fault("apply:done")
 
-            self._write_header_slot(counter, epoch, self._count)
-            self._fsync_main()
+            with self.tracer.trace("platter.header_flip"):
+                self._write_header_slot(counter, epoch, self._count)
+                self._fsync_main()
             self._durability["header_flips"] += 1
+            self.stats.header_flips += 1
             self._fault("header:flipped")
 
             self._durable_counter = counter
@@ -575,6 +591,7 @@ class FilePlatter(BlockDevice):
             self._wal.seek(0, os.SEEK_END)
             if self._wal.tell() > self.wal_limit_bytes:
                 self._checkpoint_locked()
+            self.stats.write_time_s += perf_counter() - sync_start
             return len(entries)
 
     def _on_journal_seal(self, epoch: int, sealed_ids: frozenset[int]) -> None:

@@ -20,6 +20,7 @@ def sample_keys(
     count: int,
     distribution: str = "uniform",
     seed: int = 0,
+    rng: random.Random | None = None,
 ) -> list[int]:
     """Draw ``count`` distinct keys from ``universe``.
 
@@ -27,6 +28,11 @@ def sample_keys(
     * ``sequential`` -- the lowest ``count`` keys, in order (bulk load);
     * ``clustered`` -- a few dense runs separated by gaps, modelling
       attribute domains with hot ranges.
+
+    Every generator here draws from one source: the caller's ``rng`` if
+    given, else a fresh ``random.Random(seed)`` -- so a caller can either
+    share one stream across generators or rely on the seeded defaults
+    (bit-for-bit reproducible either way).
     """
     if distribution not in _DISTRIBUTIONS:
         raise ReproError(f"unknown distribution {distribution!r}")
@@ -34,7 +40,7 @@ def sample_keys(
         raise ReproError(
             f"cannot draw {count} distinct keys from a universe of {len(universe)}"
         )
-    rng = random.Random(seed)
+    rng = random.Random(seed) if rng is None else rng
     if distribution == "sequential":
         return list(universe[:count])
     if distribution == "uniform":
@@ -53,9 +59,14 @@ def sample_keys(
     return sorted(keys)
 
 
-def payloads_for(keys: list[int], size: int = 64, seed: int = 1) -> dict[int, bytes]:
+def payloads_for(
+    keys: list[int],
+    size: int = 64,
+    seed: int = 1,
+    rng: random.Random | None = None,
+) -> dict[int, bytes]:
     """A deterministic payload per key (printable prefix + random tail)."""
-    rng = random.Random(seed)
+    rng = random.Random(seed) if rng is None else rng
     out = {}
     for key in keys:
         prefix = f"record:{key}:".encode()
@@ -64,11 +75,17 @@ def payloads_for(keys: list[int], size: int = 64, seed: int = 1) -> dict[int, by
     return out
 
 
-def point_queries(keys: list[int], count: int, hit_rate: float = 1.0, seed: int = 2) -> list[int]:
+def point_queries(
+    keys: list[int],
+    count: int,
+    hit_rate: float = 1.0,
+    seed: int = 2,
+    rng: random.Random | None = None,
+) -> list[int]:
     """A stream of point lookups; misses are drawn adjacent to real keys."""
     if not 0.0 <= hit_rate <= 1.0:
         raise ReproError(f"hit rate {hit_rate} outside [0, 1]")
-    rng = random.Random(seed)
+    rng = random.Random(seed) if rng is None else rng
     queries = []
     key_set = set(keys)
     for _ in range(count):
@@ -88,11 +105,12 @@ def range_queries(
     count: int,
     selectivity: float,
     seed: int = 3,
+    rng: random.Random | None = None,
 ) -> list[tuple[int, int]]:
     """Ranges covering ``selectivity`` of the universe each."""
     if not 0.0 < selectivity <= 1.0:
         raise ReproError(f"selectivity {selectivity} outside (0, 1]")
-    rng = random.Random(seed)
+    rng = random.Random(seed) if rng is None else rng
     span = max(1, int(len(universe) * selectivity))
     out = []
     for _ in range(count):
@@ -109,6 +127,7 @@ def mixed_operations(
     seed: int = 4,
     range_span: int = 32,
     payload_size: int = 48,
+    rng: random.Random | None = None,
 ) -> list[tuple]:
     """A deterministic interleaved stream of reads and writes.
 
@@ -126,7 +145,7 @@ def mixed_operations(
     """
     if not 0.0 <= read_fraction <= 1.0:
         raise ReproError(f"read fraction {read_fraction} outside [0, 1]")
-    rng = random.Random(seed)
+    rng = random.Random(seed) if rng is None else rng
     present = sorted(initial_keys)
     absent = sorted(set(universe) - set(initial_keys))
     ops: list[tuple] = []

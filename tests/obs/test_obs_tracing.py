@@ -1,0 +1,125 @@
+"""The span tracer: no-op fast path, ring bound, slow-op log, env switch."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import ObsConfig, Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
+
+
+class TestDisabledPath:
+    def test_disabled_trace_returns_shared_singleton(self):
+        tracer = Tracer(MetricsRegistry(), enabled=False)
+        first = tracer.trace("a")
+        second = tracer.trace("b")
+        assert first is second  # no allocation on the fast path
+
+    def test_disabled_span_records_nothing(self):
+        registry = MetricsRegistry(("op",))
+        tracer = Tracer(registry, enabled=False)
+        with tracer.trace("op") as span:
+            pass
+        assert span.duration_ns == 0
+        assert registry.snapshot()["op"]["count"] == 0
+        assert tracer.snapshot() == {"spans": 0, "slow_ops": 0}
+
+    def test_null_tracer_never_touches_a_registry(self):
+        with NULL_TRACER.trace("anything"):
+            pass  # registry is None; must not raise
+
+
+class TestEnabledPath:
+    def test_span_times_and_feeds_histogram(self):
+        registry = MetricsRegistry(("op",))
+        tracer = Tracer(registry, enabled=True)
+        with tracer.trace("op") as span:
+            time.sleep(0.002)
+        assert span.duration_ns >= 2_000_000
+        snap = registry.snapshot()["op"]
+        assert snap["count"] == 1
+        assert snap["total_ns"] == span.duration_ns
+        assert tracer.recent_spans()[-1][0] == "op"
+
+    def test_span_records_even_when_body_raises(self):
+        registry = MetricsRegistry(("op",))
+        tracer = Tracer(registry, enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.trace("op"):
+                raise RuntimeError("boom")
+        assert registry.snapshot()["op"]["count"] == 1
+
+    def test_ring_is_bounded_oldest_out(self):
+        tracer = Tracer(MetricsRegistry(), enabled=True, ring_size=4)
+        for i in range(10):
+            with tracer.trace(f"op{i}"):
+                pass
+        names = [name for name, _, _ in tracer.recent_spans()]
+        assert names == ["op6", "op7", "op8", "op9"]
+        assert tracer.snapshot()["spans"] == 10  # counter keeps the total
+
+    def test_slow_op_threshold(self):
+        tracer = Tracer(
+            MetricsRegistry(), enabled=True, slow_op_threshold_s=0.001
+        )
+        with tracer.trace("fast"):
+            pass
+        with tracer.trace("slow"):
+            time.sleep(0.003)
+        assert tracer.snapshot()["slow_ops"] == 1
+        (entry,) = tracer.slow_ops()
+        assert entry[0] == "slow"
+        assert entry[2] >= 1_000_000
+
+    def test_threshold_adjustable_at_runtime(self):
+        tracer = Tracer(MetricsRegistry(), enabled=True)
+        tracer.slow_op_threshold_s = 0.5
+        assert tracer.slow_op_threshold_s == pytest.approx(0.5)
+
+    def test_flipping_enabled_mid_flight(self):
+        registry = MetricsRegistry(("op",))
+        tracer = Tracer(registry, enabled=False)
+        with tracer.trace("op"):
+            pass
+        tracer.enabled = True
+        with tracer.trace("op"):
+            pass
+        assert registry.snapshot()["op"]["count"] == 1
+        assert isinstance(tracer.trace("op"), Span)
+
+
+class TestConfig:
+    def test_default_config_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_TRACE", raising=False)
+        assert ObsConfig.from_env().enabled is False
+
+    def test_env_flag_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_TRACE", "1")
+        assert ObsConfig.from_env().enabled is True
+        monkeypatch.setenv("REPRO_OBS_TRACE", "0")
+        assert ObsConfig.from_env().enabled is False
+
+    def test_observability_honours_env_when_unconfigured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_TRACE", "1")
+        assert Observability().enabled is True
+        monkeypatch.delenv("REPRO_OBS_TRACE")
+        assert Observability().enabled is False
+        # an explicit config beats the environment
+        monkeypatch.setenv("REPRO_OBS_TRACE", "1")
+        assert Observability(ObsConfig(enabled=False)).enabled is False
+
+    def test_set_enabled_flips_tracer_and_heat(self):
+        obs = Observability(ObsConfig(enabled=False))
+        obs.set_enabled(True)
+        assert obs.tracer.enabled and obs.heat.enabled
+        obs.set_enabled(False)
+        assert not obs.tracer.enabled and not obs.heat.enabled
+
+    def test_dump_renders_without_traffic(self):
+        obs = Observability(ObsConfig(enabled=True))
+        text = obs.dump()
+        assert "observability (enabled)" in text
+        assert "gauges:" in text
