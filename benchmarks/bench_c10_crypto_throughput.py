@@ -9,7 +9,11 @@ serialised it on the GIL.  This experiment measures the two remedies:
    clarity-first ``reference`` kernel vs the ``fast`` kernel (fused SP
    tables, cached forward/reverse key schedules, bulk entry points), in
    both per-block and bulk-call form, asserting byte-identical output.
-   Target: >= 5x (the acceptance bar; CI smoke asserts >= 2x).
+   Target: >= 5x (the acceptance bar; CI smoke asserts >= 2x).  When
+   numpy is importable the ``vector`` kernel joins the comparison: all
+   16 rounds as ndarray gathers over the whole buffer at once, asserted
+   byte-identical and >= 3x the fast kernel's bulk rate
+   (``C10_VECTOR_FLOOR`` tunes the bar for slow CI hosts).
 2. **Executor backends.**  The same range-query workload through the
    cluster's ``serial``, ``threads`` and ``processes`` executors, with
    byte-identical results and identical cipher-operation deltas
@@ -34,7 +38,7 @@ import time
 
 from repro.cluster.sharded import ShardedEncipheredDatabase
 from repro.cluster.stats import subtract_counter_dicts
-from repro.crypto.des import DES, set_default_kernel
+from repro.crypto.des import DES, set_default_kernel, vector_available
 from repro.crypto.rsa import RSA, generate_rsa_keypair
 from repro.designs.difference_sets import planar_difference_set
 from repro.designs.multipliers import non_multiplier_units
@@ -47,9 +51,11 @@ NUM_BLOCKS = int(os.environ.get("C10_BLOCKS", "3000"))
 NUM_KEYS = int(os.environ.get("C10_N", "1200"))
 NUM_QUERIES = int(os.environ.get("C10_QUERIES", "120"))
 E2E_QUERIES = int(os.environ.get("C10_E2E_QUERIES", "12"))
+VECTOR_FLOOR = float(os.environ.get("C10_VECTOR_FLOOR", "3.0"))
 NUM_SHARDS = 4
 QUERY_WIDTH = 40
 BACKENDS = ("serial", "threads", "processes")
+KERNELS = ("reference", "fast") + (("vector",) if vector_available() else ())
 
 
 def _sub_factory(shard: int) -> OvalSubstitution:
@@ -99,7 +105,7 @@ def _kernel_rates(payload: bytes) -> dict[str, dict[str, float]]:
     key = bytes.fromhex("133457799BBCDFF1")
     rates: dict[str, dict[str, float]] = {}
     outputs = {}
-    for kernel in ("reference", "fast"):
+    for kernel in KERNELS:
         des = DES(key, kernel=kernel)
         outputs[kernel] = des.encrypt_blocks(payload)
 
@@ -121,7 +127,8 @@ def _kernel_rates(payload: bytes) -> dict[str, dict[str, float]]:
                 lambda des=des, ct=outputs[kernel]: des.decrypt_blocks(ct), NUM_BLOCKS
             ),
         }
-    assert outputs["reference"] == outputs["fast"], "kernels diverge"
+    for kernel in KERNELS[1:]:
+        assert outputs[kernel] == outputs["reference"], f"{kernel} diverges"
     des = DES(key)
     assert des.decrypt_blocks(outputs["fast"]) == payload
     return rates
@@ -231,11 +238,13 @@ def test_c10_crypto_throughput(benchmark, reporter):
     )
     reporter.table(
         f"single-thread DES throughput, {NUM_BLOCKS} blocks of 8 bytes "
-        "(identical ciphertext asserted across kernels)",
+        "(identical ciphertext asserted across kernels"
+        + ("" if vector_available() else "; numpy absent, no vector arm")
+        + ")",
         ["kernel", "path", "blocks/s"],
         [
             [kernel, path, f"{rate:,.0f}"]
-            for kernel in ("reference", "fast")
+            for kernel in KERNELS
             for path, rate in rates[kernel].items()
         ],
     )
@@ -243,6 +252,20 @@ def test_c10_crypto_throughput(benchmark, reporter):
         f"fast kernel only {speedup_bulk:.1f}x the reference (bulk encrypt)"
     )
     assert speedup_decrypt >= 2.0
+
+    vector_speedups = None
+    if vector_available():
+        vector_speedups = {
+            "encrypt_bulk_vs_fast": rates["vector"]["encrypt_bulk"]
+            / rates["fast"]["encrypt_bulk"],
+            "decrypt_bulk_vs_fast": rates["vector"]["decrypt_bulk"]
+            / rates["fast"]["decrypt_bulk"],
+        }
+        assert vector_speedups["encrypt_bulk_vs_fast"] >= VECTOR_FLOOR, (
+            f"vector kernel only {vector_speedups['encrypt_bulk_vs_fast']:.1f}x "
+            f"the fast kernel (bulk encrypt); floor {VECTOR_FLOOR}x"
+        )
+        assert vector_speedups["decrypt_bulk_vs_fast"] >= VECTOR_FLOOR
 
     # -- executors -------------------------------------------------------
     items = _items()
@@ -295,6 +318,8 @@ def test_c10_crypto_throughput(benchmark, reporter):
             "speedup_fast_vs_reference_bulk": speedup_bulk,
             "speedup_fast_vs_reference_block_calls": speedup_block,
             "speedup_fast_vs_reference_decrypt_bulk": speedup_decrypt,
+            "vector_available": vector_available(),
+            "speedup_vector_vs_fast": vector_speedups,
         },
         "cluster_range_queries": {
             "wall_clock_s": wall,

@@ -21,8 +21,15 @@ and verifies the recovery story end to end:
    to an in-memory control cluster that committed the same operations
    cleanly.
 
+An extra *I/O-bound* arm runs the same workload on
+``MemoryBackend(latency_s=...)`` -- memory that pretends to seek -- to
+show how the cost balance shifts when the device, not the cipher plane,
+dominates; its cipher counts must still match the instant-memory arm
+exactly.
+
 ``C12_N`` and ``C12_WRITES`` (env vars) shrink the workload for CI
-smoke runs.
+smoke runs; ``C12_LATENCY`` (seconds per block I/O, default 200us)
+tunes the I/O-bound arm.
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ UNITS = non_multiplier_units(DESIGN)
 
 NUM_KEYS = int(os.environ.get("C12_N", "500"))
 NUM_WRITES = int(os.environ.get("C12_WRITES", "40"))
+LATENCY_S = float(os.environ.get("C12_LATENCY", "0.0002"))
 NUM_SHARDS = 3
 
 KEYPAIR = generate_rsa_keypair(bits=128, rng=random.Random(0xC12))
@@ -102,6 +110,7 @@ def _single_database_arms(keys):
     root = tempfile.mkdtemp(prefix="c12-arms-")
     arms = {
         "memory": MemoryBackend(),
+        "memory+latency": MemoryBackend(latency_s=LATENCY_S),
         "file": FileBackend(os.path.join(root, "plain"), fsync=False),
         "file+fsync": FileBackend(os.path.join(root, "fsync"), fsync=True),
     }
@@ -116,9 +125,16 @@ def _single_database_arms(keys):
         observations[name] = _workload(db, keys)
         elapsed = time.perf_counter() - start
         ciphers[name] = _cipher_totals(db)
-        durability = db.stats()["durability"]
+        stats = db.stats()
+        durability = stats["durability"]
+        io_wait_s = sum(
+            stats[device][field]
+            for device in ("node_disk", "record_disk")
+            for field in ("read_time_s", "write_time_s")
+        )
         rows[name] = {
             "elapsed_s": elapsed,
+            "io_wait_s": io_wait_s,
             "durable": backend.durable,
             "wal_frames": durability["node"]["wal_frames"]
             + durability["records"]["wal_frames"],
@@ -244,23 +260,32 @@ def test_c12_durability(benchmark, reporter):
 
     assert observations["file"] == observations["memory"]
     assert observations["file+fsync"] == observations["memory"]
+    assert observations["memory+latency"] == observations["memory"]
     assert ciphers["file"] == ciphers["memory"], (
         "the durable device changed the cipher-operation counts"
     )
     assert ciphers["file+fsync"] == ciphers["memory"]
+    assert ciphers["memory+latency"] == ciphers["memory"], (
+        "simulated seek latency changed the cipher-operation counts"
+    )
+    assert rows["memory+latency"]["io_wait_s"] > 0, (
+        "the latency arm never waited on its device"
+    )
+
     assert rows["file"]["replayed_on_clean_open"] == 0
 
     memory_s = rows["memory"]["elapsed_s"]
     reporter.table(
         f"{NUM_KEYS}-key workload (inserts, deletes, searches, range "
         "reads, two commits); results and cipher counts identical on "
-        "every backend",
-        ["backend", "elapsed", "vs memory", "WAL frames", "WAL bytes",
-         "header flips"],
+        f"every backend (latency arm: {LATENCY_S * 1e6:,.0f}us/block)",
+        ["backend", "elapsed", "vs memory", "I/O wait", "WAL frames",
+         "WAL bytes", "header flips"],
         [
             [name,
              f"{row['elapsed_s'] * 1e3:,.1f} ms",
              f"{row['elapsed_s'] / memory_s:,.2f}x",
+             f"{row['io_wait_s'] * 1e3:,.1f} ms",
              row["wal_frames"],
              f"{row['wal_bytes']:,}",
              row["header_flips"]]

@@ -14,7 +14,11 @@ This module supplies the cluster's ``executor="processes"`` backend:
   :meth:`~repro.core.database.EncipheredDatabase.reopen`.
 * :func:`_shard_worker` -- the worker loop: one process per shard,
   request/reply over a pipe, serving ``range_search`` / ``get_many`` /
-  ``bulk_load`` / ``stats`` against its private copy.
+  ``bulk_load`` / ``put_many`` / ``delete_many`` / ``stats`` against its
+  private copy.  The mutating ops (write offload) execute the batch on
+  the replica and ship the resulting
+  :class:`~repro.storage.journal.ShardDelta` back for parent apply --
+  the same promote-once channel ``bulk_load`` uses.
 * :class:`ProcessShardExecutor` -- the parent-side coordinator.  It
   ships each shard's spec lazily and re-syncs only when the parent's
   copy has changed (an *epoch* counter bumped by every cluster-level
@@ -204,6 +208,11 @@ def _shard_worker(conn) -> None:
     protocol); every other op is a plain method call against it.
     """
     db: EncipheredDatabase | None = None
+    # Local epoch counter scoping write-offload batches: the replica's
+    # journals are private (the parent's epochs never reach them), so
+    # each offloaded batch checkpoints at the counter, mutates, seals
+    # counter+1 and collects exactly that batch's changed blocks.
+    offload_epoch = 0
     while True:
         try:
             op, payload = conn.recv()
@@ -215,6 +224,7 @@ def _shard_worker(conn) -> None:
                 break
             if op == "open":
                 db = payload.open()
+                offload_epoch = 0  # fresh replica, fresh journals
                 # the baseline the parent subtracts: whatever reopen's
                 # superblock check and verification walk just counted
                 conn.send(("ok", db.stats()))
@@ -242,6 +252,39 @@ def _shard_worker(conn) -> None:
                         db.records.export_state(),
                     ),
                 ))
+            elif op in ("put_many", "delete_many"):
+                # Write offload: run the single-shard batch on the
+                # replica (where this process's cipher plane does the
+                # work) and ship the resulting delta back for parent
+                # apply -- the mutation mirror of bulk_load's channel.
+                base = offload_epoch
+                db.truncate_journals(base)  # replica == parent snapshot
+                if op == "put_many":
+                    count = db.put_many(payload)
+                else:
+                    count = db.delete_many(payload)
+                offload_epoch = base + 1
+                db.seal_changes(offload_epoch)
+                delta = db.collect_delta(base, offload_epoch)
+                if delta is not None:
+                    conn.send(("ok", (db.stats(), count, "delta", delta)))
+                else:
+                    # journals could not prove completeness (shouldn't
+                    # happen right after a seal, but the full ship is
+                    # always a correct answer)
+                    conn.send((
+                        "ok",
+                        (
+                            db.stats(),
+                            count,
+                            "full",
+                            (
+                                db.tree.snapshot_state(),
+                                db.disk.export_state(),
+                                db.records.export_state(),
+                            ),
+                        ),
+                    ))
             elif op == "stats":
                 conn.send(("ok", db.stats()))
             elif op == "heat":
@@ -305,6 +348,15 @@ class ProcessShardExecutor:
             "full_bytes": 0,
             "delta_bytes": 0,
             "delta_blocks": 0,
+            # id-index bytes the (start, count) run encoding saved across
+            # every delta shipped in either direction (satellite of
+            # ROADMAP item 4b)
+            "delta_run_bytes_saved": 0,
+            # write offload: batches executed worker-side, and the bytes/
+            # blocks their result deltas shipped back to the parent
+            "offloaded_batches": 0,
+            "offload_bytes": 0,
+            "offload_blocks": 0,
         }
         try:
             self._mp = multiprocessing.get_context("fork")
@@ -393,6 +445,7 @@ class ProcessShardExecutor:
                 self.sync_stats["delta_ships"] += 1
                 self.sync_stats["delta_bytes"] += delta.payload_bytes
                 self.sync_stats["delta_blocks"] += delta.blocks_shipped
+                self.sync_stats["delta_run_bytes_saved"] += delta.run_bytes_saved
             else:
                 with shard.obs.trace("executor.full_ship"):
                     spec = spec_from_shard(
@@ -468,6 +521,53 @@ class ProcessShardExecutor:
             if first_error is not None:
                 raise first_error
             return results
+
+    def map_settled(
+        self,
+        op: str,
+        shard_ids: Sequence[int],
+        payloads: Sequence[object],
+        shards: Sequence[EncipheredDatabase],
+        epochs: Sequence[int],
+    ) -> list[tuple[bool, object]]:
+        """Like :meth:`map`, but per-shard ``(ok, value_or_exc)`` outcomes.
+
+        The write-offload path needs partial results: ``put_many``'s
+        contract applies independent shards' slices even when a sibling
+        slice fails, so a fail-fast ``map`` (which discards the
+        successful replies) cannot serve it.  Used for *mutating* ops,
+        so the abort path additionally marks every already-dispatched
+        replica stale -- its state diverged the moment the request went
+        out, and the caller is about to re-run the batch parent-side.
+        """
+        with self._dispatch_lock:
+            sent: list[int] = []
+            try:
+                for index, payload in zip(shard_ids, payloads):
+                    self.sync(index, shards[index], epochs[index])
+                    self._conns[index].send((op, payload))
+                    sent.append(index)
+            except BaseException:
+                # mirror map()'s drain, plus invalidation: a drained
+                # *mutation* left the replica ahead of the parent, and
+                # absorbing its counters into the baseline (not
+                # harvesting) keeps the about-to-be-re-run work counted
+                # exactly once
+                for index in sent:
+                    try:
+                        self._recv(index)
+                        self._base[index] = self._request(index, "stats", None)
+                    except Exception:
+                        pass
+                    self.epochs_sent[index] = -1
+                raise
+            outcomes: list[tuple[bool, object]] = []
+            for index in shard_ids:
+                try:
+                    outcomes.append((True, self._recv(index)))
+                except Exception as exc:
+                    outcomes.append((False, exc))
+            return outcomes
 
     # -- counter rollup --------------------------------------------------
 

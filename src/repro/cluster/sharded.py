@@ -788,8 +788,13 @@ class ShardedEncipheredDatabase:
         acquisition, one commit and one epoch bump
         (:meth:`EncipheredDatabase.put_many`), so a burst of k writes
         triggers one replica delta ship per touched shard instead of k
-        re-syncs.  Shards are loaded in parallel on the thread fan-out
-        (mutations always run parent-side, whatever the executor).
+        re-syncs.  Shards are loaded in parallel on the thread fan-out;
+        with the process executor, each shard's slice is *offloaded* to
+        its owning worker -- the mutation executes in the worker (where
+        its cipher plane runs on a separate interpreter) and the
+        resulting :class:`~repro.storage.journal.ShardDelta` ships back
+        for parent apply, so write-heavy workloads parallelise across
+        shards like reads do.
 
         Atomicity is *per shard*: a failing slice (duplicate key,
         oversized record) rolls its own shard back, but sibling shards
@@ -801,6 +806,8 @@ class ShardedEncipheredDatabase:
             return 0
         partitions = self.router.partition(pairs, key=lambda kv: kv[0])
         touched = [i for i, part in enumerate(partitions) if part]
+        if self._offload_batch("put_many", touched, partitions):
+            return len(pairs)
         try:
             self._fan_out(
                 lambda i: self.shards[i].put_many(partitions[i]), touched
@@ -817,13 +824,17 @@ class ShardedEncipheredDatabase:
 
         A missing key raises :class:`~repro.exceptions.KeyNotFoundError`
         and rolls back that shard's whole slice; sibling shards are
-        unaffected.  Returns the number of keys deleted.
+        unaffected.  With the process executor the per-shard slices are
+        offloaded to the owning workers like :meth:`put_many`'s.
+        Returns the number of keys deleted.
         """
         key_list = list(keys)
         if not key_list:
             return 0
         partitions = self.router.partition(key_list, key=lambda k: k)
         touched = [i for i, part in enumerate(partitions) if part]
+        if self._offload_batch("delete_many", touched, partitions):
+            return len(key_list)
         try:
             self._fan_out(
                 lambda i: self.shards[i].delete_many(partitions[i]), touched
@@ -832,9 +843,134 @@ class ShardedEncipheredDatabase:
             self._note_changed_writes(touched)
         return len(key_list)
 
+    def _offload_batch(
+        self, op: str, touched: Sequence[int], partitions: Sequence
+    ) -> bool:
+        """Execute a batched mutation worker-side; True when handled.
+
+        Each touched shard's slice runs in its owning process worker
+        (synced to the parent's epoch first), and the worker ships back
+        the delta its commit produced; the parent applies it under the
+        shard's write lock -- a pure state transfer, so the batch's
+        cipher work happened exactly once, in the worker.  Falls back to
+        the parent-side fan-out (returns ``False``) when the process
+        path is unavailable or unsafe: wrong executor, single-shard
+        batch, inside a transaction, uncommitted state anywhere, a
+        non-autocommit shard (the worker commits its replica, so
+        offloading would break rollback-ability), or a racing writer
+        surfacing :class:`UncommittedShardState` mid-sync.
+
+        Per-shard atomicity matches the parent-side path: a failing
+        slice raises after every successful sibling's delta is applied,
+        and the failed shard's replica is re-shipped before reuse.
+        """
+        if not self._use_processes(touched) or not all(
+            self.shards[i].autocommit for i in touched
+        ):
+            return False
+        procs = self._process_pool()
+        try:
+            outcomes = procs.map_settled(
+                op,
+                touched,
+                [partitions[i] for i in touched],
+                self.shards,
+                self._shard_epochs,
+            )
+        except UncommittedShardState:
+            return False  # racing writer left dirt: mutate in-process
+        first_error: BaseException | None = None
+        for shard_id, (ok, value) in zip(touched, outcomes):
+            if not ok:
+                # the slice failed worker-side (duplicate key, missing
+                # key, oversized record): the replica rolled back, but
+                # its rollback may have moved bytes -- re-ship it
+                procs.invalidate((shard_id,))
+                if first_error is None:
+                    first_error = value
+                continue
+            stats_after, _count, kind, state = value
+            try:
+                installed = self._install_offload(shard_id, kind, state)
+            except BaseException as exc:
+                procs.invalidate((shard_id,))
+                if first_error is None:
+                    first_error = exc
+                continue
+            if installed:
+                procs.rebase(shard_id, stats_after)
+                procs.sync_stats["offloaded_batches"] += 1
+                if kind == "delta":
+                    procs.sync_stats["offload_bytes"] += state.payload_bytes
+                    procs.sync_stats["offload_blocks"] += state.blocks_shipped
+                    procs.sync_stats["delta_run_bytes_saved"] += (
+                        state.run_bytes_saved
+                    )
+            else:
+                # a writer raced in between the sync and the install:
+                # the worker's result describes a stale base state.
+                # Drop it (re-ship the replica) and run this slice
+                # parent-side; in this rare race the slice's cipher
+                # work honestly happened twice and is counted twice.
+                procs.invalidate((shard_id,))
+                try:
+                    shard = self.shards[shard_id]
+                    if op == "put_many":
+                        shard.put_many(partitions[shard_id])
+                    else:
+                        shard.delete_many(partitions[shard_id])
+                finally:
+                    self._note_changed_writes((shard_id,))
+        if first_error is not None:
+            raise first_error
+        return True
+
+    def _install_offload(self, shard_id: int, kind: str, state) -> bool:
+        """Adopt one offloaded slice's shipped state into the parent shard.
+
+        Returns ``False`` (install refused, nothing changed) when the
+        parent shard moved since the worker was synced -- the worker's
+        delta describes a different base state and applying it would
+        clobber the racing writer's bytes.  Checked under the shard's
+        write lock, where every mutation publishes its epoch.
+        """
+        shard = self.shards[shard_id]
+        procs = self._procs
+        with shard.lock.write_locked():
+            with self._epoch_locks[shard_id]:
+                current = self._shard_epochs[shard_id]
+            if (
+                procs.epochs_sent[shard_id] != current
+                or shard.has_unsealed_changes
+                or shard.has_uncommitted_changes
+                or bool(shard.tree.pager.dirty_blocks)
+            ):
+                return False
+            if kind == "delta":
+                # reentrant write lock: apply_delta takes it again
+                shard.apply_delta(state)
+            else:
+                tree_state, node_blocks, record_state = state
+                shard.tree.pager.discard_dirty()
+                shard.tree.pager.clear_cache()
+                shard.disk.import_state(node_blocks)
+                shard.records.import_state(record_state)
+                shard.tree.restore_state(tree_state)
+            # same pairing as _process_bulk_load: bump + seal under the
+            # shard lock, then mark the worker current -- it already
+            # holds exactly the state it just shipped us
+            self._note_writes((shard_id,))
+            procs.epochs_sent[shard_id] = self._shard_epochs[shard_id]
+        return True
+
     # -- cache warming ----------------------------------------------------
 
-    def warm(self, levels: int = 2, hot_record_blocks: int = 0) -> int:
+    def warm(
+        self,
+        levels: int = 2,
+        hot_record_blocks: int = 0,
+        background: bool = False,
+    ) -> int:
         """Pre-decode every shard's top tree levels into its node caches.
 
         Fans out per shard like any read.  ``hot_record_blocks`` asks
@@ -845,8 +981,17 @@ class ShardedEncipheredDatabase:
         sync), because that is where process-backend queries actually
         run; their warming work rolls up into ``stats()`` like every
         other worker-side counter.  Returns the total nodes touched.
+
+        ``background=True`` starts each parent shard's warm on its own
+        daemon thread and returns 0 immediately (see
+        :meth:`EncipheredDatabase.warm`); worker replicas are skipped --
+        they warm themselves on their next synced fan-out.
         """
         shard_ids = list(range(len(self.shards)))
+        if background:
+            for i in shard_ids:
+                self.shards[i].warm(levels, hot_record_blocks, background=True)
+            return 0
         warmed = sum(
             self._fan_out(
                 lambda i: self.shards[i].warm(levels, hot_record_blocks),
@@ -998,7 +1143,12 @@ class ShardedEncipheredDatabase:
         ``full_ships``/``full_bytes`` count whole-platter spec ships,
         ``delta_ships``/``delta_bytes``/``delta_blocks`` the incremental
         catch-ups; benchmark C11 derives bytes-shipped-per-write from
-        these.
+        these.  ``delta_run_bytes_saved`` totals the id-index bytes the
+        contiguous-run encoding shaved off every delta shipped in either
+        direction.  ``offloaded_batches``/``offload_bytes``/
+        ``offload_blocks`` count worker-side ``put_many``/``delete_many``
+        executions and the delta traffic their results shipped *back*
+        (benchmark C14).
         """
         if self._procs is None:
             return None

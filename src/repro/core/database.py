@@ -79,6 +79,7 @@ report exact totals without a lock on any hot-path increment.
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import contextmanager
 from typing import Iterable, Iterator
 
@@ -104,9 +105,22 @@ _MAGIC = b"HSBT1990"
 
 
 class WarmingCounters(ThreadSafeCounters):
-    """Cache-warming work, counted separately from organic traffic."""
+    """Cache-warming work, counted separately from organic traffic.
 
-    _FIELDS = ("nodes_warmed", "record_blocks_warmed")
+    ``background_warms``/``background_completed``/``background_failed``
+    track :meth:`EncipheredDatabase.warm` daemon-thread runs: started,
+    finished cleanly, and died (e.g. the database closed underneath a
+    still-running warm -- advisory work, so the error is recorded
+    rather than raised on a thread nobody joins).
+    """
+
+    _FIELDS = (
+        "nodes_warmed",
+        "record_blocks_warmed",
+        "background_warms",
+        "background_completed",
+        "background_failed",
+    )
 
 
 def _counting(pointer_cipher: IntegerCipher) -> CountingCipher:
@@ -181,6 +195,8 @@ class EncipheredDatabase:
         self._txn_snapshot: tuple[int, int, list[int]] | None = None
         #: Nodes pre-decoded by :meth:`warm` (reported in :meth:`stats`).
         self.warming = WarmingCounters()
+        #: Latest ``warm(background=True)`` daemon thread, for joining.
+        self._warm_thread: threading.Thread | None = None
 
     # -- superblock ------------------------------------------------------
 
@@ -824,6 +840,10 @@ class EncipheredDatabase:
         persisted on the way out, so the *next* open can warm the blocks
         this run proved hot.
         """
+        if self._warm_thread is not None:
+            # a background warm may still hold the read lock; wait it
+            # out (bounded -- it is advisory) before tearing devices down
+            self._warm_thread.join(timeout=10.0)
         if self.has_uncommitted_changes:
             self.commit()
         if self._backend is not None and self.obs.enabled:
@@ -885,7 +905,12 @@ class EncipheredDatabase:
 
     # -- caches ----------------------------------------------------------
 
-    def warm(self, levels: int = 2, hot_record_blocks: int = 0) -> int:
+    def warm(
+        self,
+        levels: int = 2,
+        hot_record_blocks: int = 0,
+        background: bool = False,
+    ) -> int:
         """Pre-decode the root's top ``levels`` into the node caches.
 
         Closes part of the cold-reopen gap without waiting for organic
@@ -900,7 +925,39 @@ class EncipheredDatabase:
         (live traffic plus any persisted heat adopted at reopen) into
         the record cache.  Returns the total number of nodes and record
         blocks touched.
+
+        ``background=True`` runs the same warm on a daemon thread and
+        returns 0 immediately: a reopen can start serving at once while
+        the prefetch fills caches behind it.  The thread takes the
+        ordinary read lock, so it interleaves with readers and yields to
+        writers like any traversal; progress is visible in
+        ``stats()["cache_warming"]`` (``background_warms`` started,
+        ``background_completed`` finished, plus the usual warmed
+        counts).  The latest thread is kept on ``_warm_thread`` so tests
+        and shutdown paths can ``join`` it.
         """
+        if background:
+            self.warming.bump("background_warms")
+
+            def _run() -> None:
+                try:
+                    self._warm_locked(levels, hot_record_blocks)
+                except BaseException:
+                    # advisory work on an unjoined thread: a database
+                    # closed mid-warm must not spew to stderr
+                    self.warming.bump("background_failed")
+                else:
+                    self.warming.bump("background_completed")
+
+            thread = threading.Thread(
+                target=_run, name="repro-cache-warm", daemon=True
+            )
+            self._warm_thread = thread
+            thread.start()
+            return 0
+        return self._warm_locked(levels, hot_record_blocks)
+
+    def _warm_locked(self, levels: int, hot_record_blocks: int) -> int:
         with self.lock.read_locked():
             warmed = self.tree.warm(levels)
             warmed_blocks = 0

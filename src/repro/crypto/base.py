@@ -39,8 +39,11 @@ class BlockCipher(ABC):
     #
     # A node or record block is many cipher blocks; pushing the whole
     # buffer through one call lets a cipher amortise Python call overhead
-    # (DES overrides both with a kernel-level loop).  The defaults keep
-    # every BlockCipher bulk-capable by looping the single-block methods.
+    # (DES overrides both with a kernel-level loop; under the numpy
+    # "vector" kernel the buffer becomes a single array computation).
+    # The defaults keep every BlockCipher bulk-capable by looping the
+    # single-block methods, and counting wrappers pass the buffer through
+    # *unsplit* so the inner cipher always sees the contiguous whole.
 
     def _as_buffer(self, blocks) -> bytes:
         """Normalise a bytes-like buffer or a sequence of whole blocks."""

@@ -8,7 +8,7 @@ full 16-round cipher -- initial/final permutations, key schedule (PC-1,
 PC-2, rotation schedule), expansion, the eight S-boxes and permutation P --
 directly from the standard.
 
-Two interchangeable kernels compute the cipher (benchmark C10 compares
+Three interchangeable kernels compute the cipher (benchmark C10 compares
 them; they are byte-identical on every input):
 
 * ``"reference"`` -- the clarity-first reading of FIPS 46: every
@@ -21,6 +21,11 @@ them; they are byte-identical on every input):
   bulk-block entry points (:meth:`DES.encrypt_blocks` /
   :meth:`DES.decrypt_blocks`) that amortise Python call overhead over a
   whole node or record block.
+* ``"vector"`` (requires numpy; see :mod:`repro.crypto.vector`) -- the
+  fast kernel's tables applied as ndarray gathers over a ``uint64``
+  vector of *all* blocks in the buffer, so the 16-round loop runs once
+  per bulk call instead of once per block.  Falls back to ``"fast"``
+  when numpy is absent.
 
 The kernel is chosen per :class:`DES` instance (``kernel=``), falling
 back to the process-wide default -- :func:`set_default_kernel` or the
@@ -434,11 +439,48 @@ _KERNELS = {
     FastDESKernel.name: FastDESKernel,
 }
 
+try:  # the vector kernel needs numpy; "fast" stays the ceiling without it
+    from repro.crypto.vector import VectorDESKernel
+
+    _KERNELS[VectorDESKernel.name] = VectorDESKernel
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    VectorDESKernel = None  # type: ignore[assignment,misc]
+
+#: The name the vector kernel registers under, spelled once.  When numpy
+#: is absent, requests for it (env var, ``set_default_kernel``,
+#: ``DES(kernel=)``) silently resolve to ``"fast"`` -- the best available
+#: byte-identical kernel -- instead of failing.
+_VECTOR_NAME = "vector"
+
+
+def vector_available() -> bool:
+    """True iff numpy is importable and the vector kernel registered."""
+    return _VECTOR_NAME in _KERNELS
+
+
+def _resolve_kernel(name: str) -> str:
+    """Map a requested kernel name onto an available one.
+
+    ``"vector"`` degrades to ``"fast"`` when numpy is absent; anything
+    else unknown raises, because a typo should fail loudly rather than
+    silently encrypt with a different kernel than the operator asked for.
+    """
+    if name not in _KERNELS:
+        if name == _VECTOR_NAME:
+            return FastDESKernel.name
+        raise KeyError_(f"kernel must be one of {sorted(_KERNELS)}, got {name!r}")
+    return name
+
+
 _default_kernel = os.environ.get("REPRO_DES_KERNEL", FastDESKernel.name)
 if _default_kernel not in _KERNELS:  # fail at import, not first encryption
-    raise KeyError_(
-        f"REPRO_DES_KERNEL must be one of {sorted(_KERNELS)}, got {_default_kernel!r}"
-    )
+    if _default_kernel == _VECTOR_NAME:
+        _default_kernel = FastDESKernel.name
+    else:
+        raise KeyError_(
+            f"REPRO_DES_KERNEL must be one of {sorted(_KERNELS)}, "
+            f"got {_default_kernel!r}"
+        )
 
 
 def default_kernel() -> str:
@@ -450,12 +492,11 @@ def set_default_kernel(name: str) -> str:
     """Set the process-wide default kernel; returns the previous one.
 
     Existing :class:`DES` objects keep the kernel they were built with.
+    ``"vector"`` falls back to ``"fast"`` when numpy is absent.
     """
     global _default_kernel
-    if name not in _KERNELS:
-        raise KeyError_(f"kernel must be one of {sorted(_KERNELS)}, got {name!r}")
     previous = _default_kernel
-    _default_kernel = name
+    _default_kernel = _resolve_kernel(name)
     return previous
 
 
@@ -469,9 +510,10 @@ class DES(BlockCipher):
         (most software implementations ignore them); pass
         ``enforce_parity=True`` to require odd parity per byte.
     kernel:
-        ``"fast"`` or ``"reference"``; ``None`` (default) uses the
-        process-wide default (see :func:`set_default_kernel`).  Both
-        kernels produce byte-identical ciphertext.
+        ``"fast"``, ``"reference"`` or ``"vector"``; ``None`` (default)
+        uses the process-wide default (see :func:`set_default_kernel`).
+        All kernels produce byte-identical ciphertext; ``"vector"``
+        requires numpy and degrades to ``"fast"`` without it.
     """
 
     block_size = 8
@@ -486,9 +528,7 @@ class DES(BlockCipher):
             raise KeyError_(f"DES key must be 8 bytes, got {len(key)}")
         if enforce_parity and not self.has_odd_parity(key):
             raise KeyError_("DES key fails odd-parity check")
-        name = _default_kernel if kernel is None else kernel
-        if name not in _KERNELS:
-            raise KeyError_(f"kernel must be one of {sorted(_KERNELS)}, got {name!r}")
+        name = _default_kernel if kernel is None else _resolve_kernel(kernel)
         self.key = key
         self.kernel = name
         self._kernel = _KERNELS[name]

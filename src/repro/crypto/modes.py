@@ -5,6 +5,13 @@ pages; a page is longer than one cipher block, so a mode of operation is
 needed.  We provide ECB (the straightforward reading of a 1976/1990-era
 block-cipher deployment) and CBC with a page-id-derived IV (a stronger
 choice that still requires no stored per-page state), plus PKCS#7 padding.
+
+Every chain-free direction -- ECB both ways and CBC decryption -- hands
+the cipher one contiguous buffer per call, so the whole page reaches the
+kernel's bulk path intact (and, under the numpy ``"vector"`` kernel, runs
+all 16 DES rounds as array operations over the entire page at once).
+Only CBC *encryption* walks block by block, because each block's input
+chains on the previous block's output.
 """
 
 from __future__ import annotations

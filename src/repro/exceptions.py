@@ -51,6 +51,11 @@ class ClearanceError(CryptoError):
         self.clearance = clearance
         self.level = level
 
+    def __reduce__(self):
+        # multi-argument __init__ breaks the default exception pickling;
+        # worker processes ship these back over the result pipe
+        return (type(self), (self.clearance, self.level))
+
 
 class StorageError(ReproError):
     """Base class for simulated-disk failures."""
@@ -89,6 +94,9 @@ class DuplicateKeyError(BTreeError):
         super().__init__(f"duplicate key: {key}")
         self.key = key
 
+    def __reduce__(self):
+        return (type(self), (self.key,))
+
 
 class KeyNotFoundError(BTreeError):
     """A delete or lookup named a key that is not in the tree."""
@@ -96,6 +104,9 @@ class KeyNotFoundError(BTreeError):
     def __init__(self, key: int) -> None:
         super().__init__(f"key not found: {key}")
         self.key = key
+
+    def __reduce__(self):
+        return (type(self), (self.key,))
 
 
 class SubstitutionError(ReproError):
@@ -108,3 +119,9 @@ class KeyUniverseError(SubstitutionError):
     def __init__(self, key: int, universe: str) -> None:
         super().__init__(f"search key {key} outside universe {universe}")
         self.key = key
+        self.universe = universe
+
+    def __reduce__(self):
+        # multi-argument __init__ breaks the default exception pickling;
+        # worker processes ship these back over the result pipe
+        return (type(self), (self.key, self.universe))

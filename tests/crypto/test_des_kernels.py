@@ -1,10 +1,13 @@
-"""Kernel parity: the fast DES kernel must equal the reference, always.
+"""Kernel parity: every accelerated DES kernel must equal the reference.
 
 The fast kernel (fused SP tables, cached forward/reverse key schedules,
-bulk entry points) exists purely for throughput -- benchmark C10 -- so
-these tests pin the one property that makes it admissible: byte-identical
-output, identical operation counts, on the FIPS known-answer vectors and
-on randomized inputs.
+bulk entry points) and the numpy vector kernel (all 16 rounds as ndarray
+gathers over whole buffers) exist purely for throughput -- benchmark C10
+-- so these tests pin the one property that makes them admissible:
+byte-identical output, identical operation counts, on the FIPS
+known-answer vectors and on randomized inputs.  When numpy is absent the
+vector kernel silently drops out of the parametrised matrix (and the
+selection machinery must fall back to ``fast``, which is tested too).
 """
 
 from __future__ import annotations
@@ -24,13 +27,14 @@ from repro.crypto.des import (
     default_kernel,
     schedule_derivations,
     set_default_kernel,
+    vector_available,
 )
 from repro.crypto.modes import CBCCipher, ECBCipher
 from repro.exceptions import KeyError_, MessageRangeError
 
 from test_des import KAT_VECTORS  # same directory; pytest puts it on sys.path
 
-KERNELS = ("reference", "fast")
+KERNELS = ("reference", "fast") + (("vector",) if vector_available() else ())
 
 
 class TestKnownAnswersBothKernels:
@@ -74,9 +78,11 @@ class TestCrossKernelParity:
     @settings(max_examples=60)
     def test_bulk_identical(self, key, raw):
         data = raw[: len(raw) - len(raw) % 8]
-        fast, ref = DES(key, kernel="fast"), DES(key, kernel="reference")
-        assert fast.encrypt_blocks(data) == ref.encrypt_blocks(data)
-        assert fast.decrypt_blocks(data) == ref.decrypt_blocks(data)
+        ref = DES(key, kernel="reference")
+        for kernel in KERNELS[1:]:
+            des = DES(key, kernel=kernel)
+            assert des.encrypt_blocks(data) == ref.encrypt_blocks(data)
+            assert des.decrypt_blocks(data) == ref.decrypt_blocks(data)
 
     def test_kernels_expose_names(self):
         assert FastDESKernel.name == "fast"
@@ -115,14 +121,14 @@ class TestBulkApi:
         assert bulk.counts.decryptions == 8
 
     def test_counts_identical_across_kernels(self):
-        data = bytes(range(48))
+        data = bytes(range(8)) * 40  # past the vector kernel's threshold
         snaps = []
         for kernel in KERNELS:
             counting = CountingBlockCipher(DES(b"\x03" * 8, kernel=kernel))
             counting.encrypt_blocks(data)
             counting.decrypt_blocks(data)
             snaps.append(counting.counts.snapshot())
-        assert snaps[0] == snaps[1]
+        assert all(snap == snaps[0] for snap in snaps)
 
 
 class TestScheduleDerivation:
@@ -160,8 +166,11 @@ class TestScheduleDerivation:
 
 class TestKernelSelection:
     def test_default_kernel_follows_environment(self):
-        # CI runs the suite under each kernel via REPRO_DES_KERNEL
+        # CI runs the suite under each kernel via REPRO_DES_KERNEL; asking
+        # for the vector kernel on a host without numpy falls back to fast
         expected = os.environ.get("REPRO_DES_KERNEL", "fast")
+        if expected == "vector" and not vector_available():
+            expected = "fast"
         assert default_kernel() == expected
         assert DES(b"k" * 8).kernel == expected
 
@@ -194,3 +203,65 @@ class TestKernelSelection:
         # the module validated REPRO_DES_KERNEL at import; here we only
         # check the resolved default is one of the known kernels
         assert default_kernel() in des_module._KERNELS
+
+    def test_vector_registration_matches_availability(self):
+        assert vector_available() == ("vector" in des_module._KERNELS)
+
+    def test_vector_request_falls_back_without_numpy(self):
+        """``kernel="vector"`` must never raise: it degrades to fast."""
+        des = DES(b"k" * 8, kernel="vector")
+        assert des.kernel == ("vector" if vector_available() else "fast")
+        previous = set_default_kernel("vector")
+        try:
+            expected = "vector" if vector_available() else "fast"
+            assert default_kernel() == expected
+        finally:
+            set_default_kernel(previous)
+
+
+@pytest.mark.skipif(not vector_available(), reason="numpy not importable")
+class TestVectorKernel:
+    """Shapes the scalar matrix cannot hit: wide buffers, odd lengths.
+
+    The vector kernel delegates short buffers to the fast kernel, so the
+    sizes here straddle its threshold on both sides -- including empty,
+    a single block, and buffers large enough that every gather runs on
+    thousand-element arrays.
+    """
+
+    @pytest.mark.parametrize("nblocks", (0, 1, 2, 15, 16, 17, 100, 1000))
+    def test_matches_fast_at_every_width(self, nblocks):
+        import random
+
+        payload = random.Random(nblocks).randbytes(8 * nblocks)
+        key = bytes.fromhex("133457799BBCDFF1")
+        fast, vec = DES(key, kernel="fast"), DES(key, kernel="vector")
+        ct = vec.encrypt_blocks(payload)
+        assert ct == fast.encrypt_blocks(payload)
+        assert vec.decrypt_blocks(ct) == payload
+
+    @given(st.binary(min_size=8, max_size=8), st.integers(0, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_any_width(self, key, nblocks):
+        payload = (b"\xa5\x5a\x00\xff\x13\x37\xc0\xde" * nblocks)
+        vec = DES(key, kernel="vector")
+        assert vec.decrypt_blocks(vec.encrypt_blocks(payload)) == payload
+
+    def test_single_block_path_is_the_fast_kernels(self):
+        key = b"\x0b" * 8
+        fast, vec = DES(key, kernel="fast"), DES(key, kernel="vector")
+        block = b"\x01\x23\x45\x67\x89\xab\xcd\xef"
+        assert vec.encrypt_block(block) == fast.encrypt_block(block)
+
+    def test_kat_vectors_through_the_array_path(self):
+        """Each FIPS vector replicated past the vectorisation threshold."""
+        for key_hex, plain_hex, cipher_hex in KAT_VECTORS:
+            des = DES(bytes.fromhex(key_hex), kernel="vector")
+            assert (
+                des.encrypt_blocks(bytes.fromhex(plain_hex) * 64)
+                == bytes.fromhex(cipher_hex) * 64
+            )
+            assert (
+                des.decrypt_blocks(bytes.fromhex(cipher_hex) * 64)
+                == bytes.fromhex(plain_hex) * 64
+            )
