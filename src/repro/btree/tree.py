@@ -179,6 +179,18 @@ class BTree:
     def _range_into(self, node_id: int, lo: int, hi: int, out: list[tuple[int, int]]) -> None:
         view = self._view(node_id)
         i = self._lower_bound(view, lo)
+        if not view.is_leaf and self.pager.readahead_workers > 0:
+            # Hint the child window this scan is about to descend into.
+            # The probe walks the same memoized view slots the emit loop
+            # reads next, so decryption counts match the blocking pager
+            # exactly -- the hint only moves block fetches earlier.  No
+            # comparison counter bumps: this is plumbing, not search.
+            j = i
+            while j < view.num_keys and view.key_at(j) <= hi:
+                j += 1
+            self.pager.readahead(
+                view.child_at(x) for x in range(i, min(j, view.num_keys) + 1)
+            )
         while True:
             if not view.is_leaf:
                 self._range_into(view.child_at(i), lo, hi, out)
@@ -239,6 +251,10 @@ class BTree:
         warmed = 0
         frontier = [self.root_id]
         for depth in range(levels):
+            # Whole-level hint: with readahead workers the pager fetches
+            # the frontier as one batched device round trip while this
+            # loop decodes; without them it is a free no-op.
+            self.pager.readahead(frontier)
             children: list[int] = []
             for node_id in frontier:
                 view = self._view(node_id)

@@ -116,6 +116,7 @@ class ShardedEncipheredDatabase:
         executor: str = "threads",
         shard_factories: tuple | None = None,
         delta_sync: bool = True,
+        offload_single_shard: bool = False,
     ) -> None:
         if not shards:
             raise StorageError("a cluster needs at least one shard")
@@ -150,6 +151,13 @@ class ShardedEncipheredDatabase:
         # new epoch" atomic against sibling writers (see _note_writes)
         self._epoch_locks = [threading.Lock() for _ in self.shards]
         self._delta_sync = delta_sync
+        #: With the process executor, ship single-shard batches to a
+        #: worker too (default off: the historical gate required >1
+        #: shard).  Worth enabling when the parent thread's own work --
+        #: routing, serving reads -- is the bottleneck and a batch's
+        #: cipher/tree cost dwarfs the delta shipping cost; benchmark
+        #: C15 records the measured parent-thread relief either way.
+        self.offload_single_shard = offload_single_shard
         self._procs: ProcessShardExecutor | None = None
 
     # -- lifecycle -------------------------------------------------------
@@ -176,6 +184,7 @@ class ShardedEncipheredDatabase:
         decoded_node_cache_bytes: int = 0,
         executor: str = "threads",
         delta_sync: bool = True,
+        offload_single_shard: bool = False,
         backend: StorageBackend | None = None,
         observability: ObsConfig | None = None,
     ) -> "ShardedEncipheredDatabase":
@@ -249,6 +258,7 @@ class ShardedEncipheredDatabase:
             executor=executor,
             shard_factories=(substitution_factory, pointer_cipher_factory),
             delta_sync=delta_sync,
+            offload_single_shard=offload_single_shard,
         )
 
     @classmethod
@@ -270,6 +280,7 @@ class ShardedEncipheredDatabase:
         validate_routing: bool = True,
         executor: str = "threads",
         delta_sync: bool = True,
+        offload_single_shard: bool = False,
         observability: ObsConfig | None = None,
     ) -> "ShardedEncipheredDatabase":
         """Rebuild a cluster from each shard's platters and the secrets.
@@ -322,6 +333,7 @@ class ShardedEncipheredDatabase:
             executor=executor,
             shard_factories=(substitution_factory, pointer_cipher_factory),
             delta_sync=delta_sync,
+            offload_single_shard=offload_single_shard,
         )
 
     @classmethod
@@ -343,6 +355,7 @@ class ShardedEncipheredDatabase:
         validate_routing: bool = True,
         executor: str = "threads",
         delta_sync: bool = True,
+        offload_single_shard: bool = False,
         observability: ObsConfig | None = None,
     ) -> "ShardedEncipheredDatabase":
         """Rebuild a cluster from its backend and the base secrets alone.
@@ -395,6 +408,7 @@ class ShardedEncipheredDatabase:
             executor=executor,
             shard_factories=(substitution_factory, pointer_cipher_factory),
             delta_sync=delta_sync,
+            offload_single_shard=offload_single_shard,
         )
 
     @staticmethod
@@ -467,15 +481,17 @@ class ShardedEncipheredDatabase:
     def _use_processes(self, shard_ids: Sequence[int]) -> bool:
         """Worker processes pay off only for a true multi-shard fan-out.
 
-        Single-shard and in-transaction work stays on this thread, and
-        so does any fan-out while a shard holds *uncommitted* state
-        (dirty write-back pages or an open shard transaction): shipping
-        a spec must never force a commit, and the in-process backends
-        already serve uncommitted reads with the right semantics.
+        Single-shard work stays on this thread unless
+        ``offload_single_shard`` opts it in; in-transaction work always
+        stays, and so does any fan-out while a shard holds *uncommitted*
+        state (dirty write-back pages or an open shard transaction):
+        shipping a spec must never force a commit, and the in-process
+        backends already serve uncommitted reads with the right
+        semantics.
         """
         return (
             self.executor == "processes"
-            and len(shard_ids) > 1
+            and (len(shard_ids) > 1 or self.offload_single_shard)
             and threading.get_ident() != self._txn_thread
             and not any(
                 shard.has_uncommitted_changes

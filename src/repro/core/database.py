@@ -79,6 +79,7 @@ report exact totals without a lock on any hot-path increment.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from contextlib import contextmanager
 from typing import Iterable, Iterator
@@ -89,7 +90,7 @@ from repro.core.packing import PointerPacking
 from repro.core.records import RecordStore
 from repro.counters import ThreadSafeCounters
 from repro.crypto.base import CountingCipher, IntegerCipher
-from repro.crypto.des import DES
+from repro.crypto.des import DES, kernel_decisions_snapshot
 from repro.crypto.modes import CBCCipher
 from repro.exceptions import CryptoError, IntegrityError, KeyNotFoundError, StorageError
 from repro.obs import ObsConfig, Observability
@@ -134,6 +135,94 @@ def _counting(pointer_cipher: IntegerCipher) -> CountingCipher:
     return CountingCipher(pointer_cipher)
 
 
+class _CommitGroup:
+    """Leader/follower durability coalescing for concurrent commits.
+
+    With group commit enabled, :meth:`EncipheredDatabase.commit` splits
+    into two halves: *staging* (deferred deletes, superblock rewrite,
+    pager flush -- under the write lock, cheap) and the *durability
+    point* (both device syncs -- up to six fsyncs on a durable backend,
+    expensive).  Each committer takes a ticket after staging; the first
+    thread to need durability becomes the leader and syncs once on
+    behalf of every ticket staged so far, while the rest wait on the
+    condition and return when the leader's round covers them.  Eight
+    concurrent committers therefore pay one or two sync rounds, not
+    eight.
+
+    The leader syncs under the database *read* lock: staging always
+    happens under the write lock, so the read side excludes every
+    mid-stage committer -- the platter can never seal a WAL frame
+    containing half of someone's pager flush.  Lock order is strictly
+    ``db.lock`` before ``_cond`` (``ticket`` runs under the write lock;
+    the election section takes ``_cond`` alone), so the two can never
+    deadlock.  A failed round clears leadership without advancing
+    ``_durable``; the next waiter retries as leader and the error
+    reaches every caller that needs it.
+    """
+
+    def __init__(self, db: "EncipheredDatabase") -> None:
+        self._db = db
+        self._cond = threading.Condition()
+        self._staged = 0
+        self._durable = 0
+        self._leading = False
+        #: Sync rounds a leader ran, and flushes satisfied by waiting
+        #: out another thread's round (additive; reported in ``stats``).
+        self.rounds = 0
+        self.joins = 0
+
+    def ticket(self) -> int:
+        """Stamp the staging just performed (caller holds the write lock)."""
+        with self._cond:
+            self._staged += 1
+            return self._staged
+
+    def staged(self) -> int:
+        """The newest ticket issued so far."""
+        with self._cond:
+            return self._staged
+
+    def flush(self, target: int) -> None:
+        """Block until ticket ``target`` is durable, syncing if needed.
+
+        Must not be called by a thread holding a side of the database
+        lock: the leader takes the read side itself.
+        """
+        waited = False
+        with self._cond:
+            while True:
+                if self._durable >= target:
+                    if waited:
+                        self.joins += 1
+                    return
+                if not self._leading:
+                    self._leading = True
+                    break
+                self._cond.wait()
+                waited = True
+        ok = False
+        snap = target
+        db = self._db
+        try:
+            with db.lock.read_locked():
+                # everything staged before we got the read side is fully
+                # on the device (staging holds the write side), so this
+                # round can safely cover it all
+                with self._cond:
+                    snap = max(snap, self._staged)
+                with db.obs.trace("wal.group_commit"):
+                    db.records.disk.sync()
+                    db.disk.sync()
+            ok = True
+        finally:
+            with self._cond:
+                self._leading = False
+                if ok:
+                    self._durable = max(self._durable, snap)
+                    self.rounds += 1
+                self._cond.notify_all()
+
+
 class EncipheredDatabase:
     """Durable facade: everything needed to reopen lives on the disks."""
 
@@ -147,6 +236,8 @@ class EncipheredDatabase:
         tree: BTree,
         autocommit: bool = True,
         observability: ObsConfig | Observability | None = None,
+        group_commit: bool | None = None,
+        async_flush: bool = False,
     ) -> None:
         self.substitution = substitution
         self.pointer_cipher = _counting(pointer_cipher)
@@ -197,6 +288,21 @@ class EncipheredDatabase:
         self.warming = WarmingCounters()
         #: Latest ``warm(background=True)`` daemon thread, for joining.
         self._warm_thread: threading.Thread | None = None
+        #: Group commit: ``None`` defers to the ``REPRO_GROUP_COMMIT``
+        #: environment switch (so CI can run whole suites with it on),
+        #: mirroring how ``REPRO_OBS_TRACE`` governs observability.
+        if group_commit is None:
+            flag = os.environ.get("REPRO_GROUP_COMMIT", "")
+            group_commit = flag not in ("", "0")
+        self._group_commit = bool(group_commit)
+        self._async_flush = bool(async_flush)
+        self._commit_group = _CommitGroup(self)
+        self._flush_lock = threading.Lock()
+        self._flush_wakeup = threading.Event()
+        self._flusher_thread: threading.Thread | None = None
+        self._flusher_stop = False
+        self._flush_error: BaseException | None = None
+        self._async_flushes = 0
 
     # -- superblock ------------------------------------------------------
 
@@ -251,6 +357,9 @@ class EncipheredDatabase:
         decoded_node_cache_bytes: int = 0,
         backend: StorageBackend | None = None,
         observability: ObsConfig | None = None,
+        group_commit: bool | None = None,
+        async_flush: bool = False,
+        readahead_workers: int = 0,
     ) -> "EncipheredDatabase":
         """Initialise a fresh database (block 0 reserved for the superblock).
 
@@ -270,6 +379,13 @@ class EncipheredDatabase:
         superblock (the authority a reopen trusts) is the commit point:
         a crash between the two syncs merely leaks record slots that no
         committed index entry references.
+
+        ``group_commit`` (default: the ``REPRO_GROUP_COMMIT`` switch)
+        coalesces concurrent explicit commits into shared sync rounds;
+        ``async_flush`` additionally defers the sync to a background
+        flusher.  ``readahead_workers`` sizes the pager's asynchronous
+        prefetch pool (``0`` -- off -- keeps the blocking read path and
+        the paper's I/O accounting untouched).
         """
         if backend is None:
             disk: BlockDevice = SimulatedDisk(block_size=block_size)
@@ -282,7 +398,8 @@ class EncipheredDatabase:
         codec = SubstitutedNodeCodec(substitution, counting, PointerPacking())
         pager = Pager(disk, cache_blocks=cache_blocks, write_back=write_back,
                       decoded_cache_blocks=decoded_node_cache_blocks,
-                      decoded_cache_bytes=decoded_node_cache_bytes)
+                      decoded_cache_bytes=decoded_node_cache_bytes,
+                      readahead_workers=readahead_workers)
         tree = BTree(pager=pager, codec=codec, min_degree=min_degree)
         records = RecordStore(data_key, record_size=record_size,
                               block_size=block_size,
@@ -290,7 +407,8 @@ class EncipheredDatabase:
                               backend=backend,
                               create=True if backend is not None else None)
         db = cls(substitution, counting, disk, records, super_key, tree,
-                 autocommit=autocommit, observability=observability)
+                 autocommit=autocommit, observability=observability,
+                 group_commit=group_commit, async_flush=async_flush)
         db._backend = backend
         db.commit()  # superblock + the fresh root reach the platter
         return db
@@ -311,6 +429,9 @@ class EncipheredDatabase:
         decoded_node_cache_blocks: int = 0,
         decoded_node_cache_bytes: int = 0,
         observability: ObsConfig | None = None,
+        group_commit: bool | None = None,
+        async_flush: bool = False,
+        readahead_workers: int = 0,
     ) -> "EncipheredDatabase":
         """Rebuild a handle from the platter and the secrets alone.
 
@@ -327,7 +448,8 @@ class EncipheredDatabase:
         codec = SubstitutedNodeCodec(substitution, counting, PointerPacking())
         pager = Pager(disk, cache_blocks=cache_blocks, write_back=write_back,
                       decoded_cache_blocks=decoded_node_cache_blocks,
-                      decoded_cache_bytes=decoded_node_cache_bytes)
+                      decoded_cache_bytes=decoded_node_cache_bytes,
+                      readahead_workers=readahead_workers)
         if record_cache_blocks is not None:
             records.cache.resize(record_cache_blocks)
         tree = BTree.attach(pager, codec, root_id, min_degree=min_degree)
@@ -336,7 +458,8 @@ class EncipheredDatabase:
                 f"superblock records {size} keys, tree holds {tree.size}"
             )
         db = cls(substitution, counting, disk, records, super_key, tree,
-                 autocommit=autocommit, observability=observability)
+                 autocommit=autocommit, observability=observability,
+                 group_commit=group_commit, async_flush=async_flush)
         db._make_cold()  # attach's verification walk must not pre-warm
         return db
 
@@ -358,6 +481,9 @@ class EncipheredDatabase:
         decoded_node_cache_blocks: int = 0,
         decoded_node_cache_bytes: int = 0,
         observability: ObsConfig | None = None,
+        group_commit: bool | None = None,
+        async_flush: bool = False,
+        readahead_workers: int = 0,
     ) -> "EncipheredDatabase":
         """Reopen a database from its backend and the secrets alone.
 
@@ -390,6 +516,9 @@ class EncipheredDatabase:
             decoded_node_cache_blocks=decoded_node_cache_blocks,
             decoded_node_cache_bytes=decoded_node_cache_bytes,
             observability=observability,
+            group_commit=group_commit,
+            async_flush=async_flush,
+            readahead_workers=readahead_workers,
         )
         db._backend = backend
         try:
@@ -413,7 +542,23 @@ class EncipheredDatabase:
         between the syncs leaves only unreferenced (leaked) record
         slots, never a superblock pointing at missing data.  Inside a
         :meth:`transaction` this establishes a new rollback point.
+
+        With ``group_commit`` enabled (and outside a transaction), the
+        expensive half -- the device syncs -- runs through the
+        :class:`_CommitGroup`: concurrent committers stage under the
+        write lock, then one leader syncs for the whole batch.  With
+        ``async_flush`` the sync is handed to a background flusher and
+        ``commit`` returns as soon as staging is done; call
+        :meth:`wait_durable` for a hard durability point.  A thread that
+        already holds the lock (autocommit inside a mutation, an open
+        transaction scope) keeps the serial sync-under-write-lock path:
+        it could never wait for a leader that needs the lock it holds.
         """
+        use_group = (
+            self._group_commit
+            and not self._in_txn
+            and not self.lock.held_by_current_thread()
+        )
         with self.obs.trace("db.commit"):
             with self.lock.write_locked():
                 for record_id in self._txn_record_deletes:
@@ -422,11 +567,75 @@ class EncipheredDatabase:
                 self._txn_record_puts = []
                 self._write_superblock()
                 self.tree.pager.flush()
-                self.records.disk.sync()
-                self.disk.sync()
+                if not use_group:
+                    self.records.disk.sync()
+                    self.disk.sync()
+                ticket = self._commit_group.ticket() if use_group else 0
+                # staging is the commit point for in-memory consistency;
+                # group mode defers only *durability* past this line
                 self.has_uncommitted_changes = False
                 if self._in_txn:
                     self._txn_snapshot = self.tree.snapshot_state()
+            if use_group:
+                if self._async_flush:
+                    self._schedule_flush()
+                else:
+                    self._commit_group.flush(ticket)
+                    self._raise_flush_error()
+
+    def wait_durable(self) -> None:
+        """Block until every staged commit is on the platter.
+
+        The hard durability point for ``async_flush`` mode (and a no-op
+        beyond error reporting otherwise): flushes everything staged so
+        far -- becoming the leader if no round is running -- and
+        re-raises any error a background flush stashed.  Must not be
+        called while holding the database lock.
+        """
+        if self._group_commit:
+            self._commit_group.flush(self._commit_group.staged())
+        self._raise_flush_error()
+
+    def _schedule_flush(self) -> None:
+        """Hand the staged work to the background flusher (lazily started)."""
+        if self._flusher_thread is None:
+            with self._flush_lock:
+                if self._flusher_thread is None:
+                    thread = threading.Thread(
+                        target=self._flusher_loop,
+                        name="repro-commit-flusher",
+                        daemon=True,
+                    )
+                    self._flusher_thread = thread
+                    thread.start()
+        with self._flush_lock:
+            self._async_flushes += 1
+        self._flush_wakeup.set()
+
+    def _flusher_loop(self) -> None:
+        while True:
+            self._flush_wakeup.wait()
+            self._flush_wakeup.clear()
+            if self._flusher_stop:
+                return
+            try:
+                self._commit_group.flush(self._commit_group.staged())
+            except BaseException as exc:  # stash for wait_durable/close
+                with self._flush_lock:
+                    self._flush_error = exc
+
+    def _raise_flush_error(self) -> None:
+        with self._flush_lock:
+            exc, self._flush_error = self._flush_error, None
+        if exc is not None:
+            raise exc
+
+    def _stop_flusher(self) -> None:
+        self._flusher_stop = True
+        self._flush_wakeup.set()
+        thread = self._flusher_thread
+        if thread is not None:
+            thread.join(timeout=10.0)
 
     def rollback(self) -> None:
         """Discard every change since the last commit point.
@@ -670,6 +879,19 @@ class EncipheredDatabase:
         with span:
             with self.lock.read_locked():
                 matches = self.tree.range_search(lo, hi)
+                if (
+                    matches
+                    and self.tree.pager.readahead_workers > 0
+                    and self.records.cache.enabled
+                ):
+                    # one batched device round trip for every record
+                    # block the gets below will touch; each uncached
+                    # block is deciphered exactly once, the same count
+                    # the cache-enabled serial path pays
+                    spb = self.records.slots_per_block
+                    self.records.warm_blocks(
+                        sorted({record_id // spb for _, record_id in matches})
+                    )
                 result = [
                     (key, self.records.get(record_id)) for key, record_id in matches
                 ]
@@ -846,6 +1068,12 @@ class EncipheredDatabase:
             self._warm_thread.join(timeout=10.0)
         if self.has_uncommitted_changes:
             self.commit()
+        if self._group_commit:
+            # drain staged-but-unflushed durability work (async mode) and
+            # surface any error a background flush stashed
+            self.wait_durable()
+        self._stop_flusher()
+        self.tree.pager.close()  # readahead workers must not outlive devices
         if self._backend is not None and self.obs.enabled:
             try:
                 self.save_heat()
@@ -1052,7 +1280,16 @@ class EncipheredDatabase:
                     "write_requests": pager.write_requests,
                     "disk_writes": pager.disk_writes,
                     "dirty_evictions": pager.dirty_evictions,
+                    "readaheads": pager.readaheads,
+                    "readahead_loads": pager.readahead_loads,
+                    "readahead_drops": pager.readahead_drops,
                 },
+                "commit_group": {
+                    "rounds": self._commit_group.rounds,
+                    "joins": self._commit_group.joins,
+                    "async_flushes": self._async_flushes,
+                },
+                "cipher_kernel": kernel_decisions_snapshot(),
                 "durability": {
                     "node": self.disk.durability_snapshot(),
                     "records": self.records.disk.durability_snapshot(),

@@ -24,8 +24,11 @@ them; they are byte-identical on every input):
 * ``"vector"`` (requires numpy; see :mod:`repro.crypto.vector`) -- the
   fast kernel's tables applied as ndarray gathers over a ``uint64``
   vector of *all* blocks in the buffer, so the 16-round loop runs once
-  per bulk call instead of once per block.  Falls back to ``"fast"``
-  when numpy is absent.
+  per bulk call instead of once per block.  Small buffers delegate to
+  ``"fast"`` below a crossover the dispatcher calibrates per process
+  (``REPRO_VECTOR_MIN_BLOCKS`` pins it); every dispatch is tallied
+  (:func:`kernel_decisions_snapshot`).  Falls back to ``"fast"``
+  entirely when numpy is absent.
 
 The kernel is chosen per :class:`DES` instance (``kernel=``), falling
 back to the process-wide default -- :func:`set_default_kernel` or the
@@ -239,12 +242,13 @@ _schedule_lock = threading.Lock()
 
 
 def _reset_schedule_lock_after_fork() -> None:
-    # A forked child (the cluster's process executor) inherits this lock
-    # in whatever state some *other* parent thread held it; its first
-    # DES construction would then deadlock.  The child is single-threaded
-    # at birth, so a fresh lock is always the correct state.
-    global _schedule_lock
+    # A forked child (the cluster's process executor) inherits these locks
+    # in whatever state some *other* parent thread held them; its first
+    # DES construction (or bulk call) would then deadlock.  The child is
+    # single-threaded at birth, so fresh locks are always the correct state.
+    global _schedule_lock, _decision_lock
     _schedule_lock = threading.Lock()
+    _decision_lock = threading.Lock()
 
 
 if hasattr(os, "register_at_fork"):  # POSIX only, like fork itself
@@ -255,6 +259,35 @@ def schedule_derivations() -> int:
     """How many key schedules have been derived process-wide."""
     with _schedule_lock:
         return _SCHEDULE_DERIVATIONS
+
+
+#: Bulk-call kernel choices made by the vector kernel's adaptive
+#: dispatcher (see :mod:`repro.crypto.vector`): how many ``crypt_blocks``
+#: calls ran vectorised versus delegated to the scalar fast kernel.
+#: Process-wide, like :func:`schedule_derivations` -- the dispatcher is a
+#: module-level decision, not a per-database one.
+_KERNEL_DECISIONS = {"vector_calls": 0, "fast_calls": 0}
+_decision_lock = threading.Lock()
+
+
+def note_kernel_decision(vector_used: bool) -> None:
+    """Record one bulk-call dispatch (called by the vector kernel)."""
+    field = "vector_calls" if vector_used else "fast_calls"
+    with _decision_lock:
+        _KERNEL_DECISIONS[field] += 1
+
+
+def kernel_decisions_snapshot() -> dict[str, int]:
+    """Both dispatch counters, as additive numeric leaves for ``stats()``."""
+    with _decision_lock:
+        return dict(_KERNEL_DECISIONS)
+
+
+def reset_kernel_decisions() -> None:
+    """Zero the dispatch counters (test support)."""
+    with _decision_lock:
+        for field in _KERNEL_DECISIONS:
+            _KERNEL_DECISIONS[field] = 0
 
 
 def _key_schedule(key64: int) -> tuple[int, ...]:

@@ -17,9 +17,21 @@ installs (``REPRO_DES_KERNEL=vector`` then means ``fast``).
 
 from __future__ import annotations
 
+import os
+import threading
+import time
+
 import numpy as np
 
-from repro.crypto.des import _E_LUT, _FP_LUT, _IP_LUT, _SP, FastDESKernel
+from repro.crypto.des import (
+    _E_LUT,
+    _FP_LUT,
+    _IP_LUT,
+    _SP,
+    FastDESKernel,
+    note_kernel_decision,
+)
+from repro.exceptions import KeyError_
 
 
 def _as_uint64_tables(luts: list[list[int]]) -> list[np.ndarray]:
@@ -32,11 +44,67 @@ _FP_NP = _as_uint64_tables(_FP_LUT)
 _E_NP = _as_uint64_tables(_E_LUT)
 _SP_NP = _as_uint64_tables(_SP)
 
-# Below this many blocks the fixed cost of ndarray setup exceeds the
-# per-block saving, so the scalar fast kernel wins; measured crossover is
-# around 8-16 blocks, and delegation keeps tiny buffers on the faster path
-# without changing a single output byte.
-_MIN_VECTOR_BLOCKS = 16
+# Below some number of blocks the fixed cost of ndarray setup exceeds
+# the per-block saving and the scalar fast kernel wins.  The crossover
+# used to be hard-coded at 16 blocks (the measured break-even on the
+# machines that tuned it); the dispatcher now *measures* it once per
+# process instead (see _calibrate), because the break-even point moves
+# with the interpreter and the numpy build.
+
+#: Buffer sizes (in blocks) probed by calibration, smallest first; the
+#: first size where the vector path wins becomes the threshold.
+_CALIBRATION_SIZES = (4, 8, 16, 32, 64)
+_CALIBRATION_REPS = 3
+
+_threshold: int | None = None
+_threshold_lock = threading.Lock()
+
+
+def _calibrate(subkeys: tuple[int, ...]) -> int:
+    """Measure the fast/vector crossover for this process.
+
+    Runs once, on the first bulk call (reusing that call's subkeys, so
+    no extra key schedule is derived).  ``REPRO_VECTOR_MIN_BLOCKS``
+    overrides with a fixed threshold -- deterministic runs (CI, the
+    dispatch tests) want the decision pinned, not measured.
+    """
+    env = os.environ.get("REPRO_VECTOR_MIN_BLOCKS", "")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise KeyError_(
+                f"REPRO_VECTOR_MIN_BLOCKS must be an integer, got {env!r}"
+            ) from None
+    for blocks in _CALIBRATION_SIZES:
+        data = bytes((i * 37 + 11) & 0xFF for i in range(8 * blocks))
+        fast_t = vec_t = float("inf")
+        for _ in range(_CALIBRATION_REPS):
+            start = time.perf_counter()
+            FastDESKernel.crypt_blocks(data, subkeys)
+            fast_t = min(fast_t, time.perf_counter() - start)
+            start = time.perf_counter()
+            _crypt_vector(data, subkeys)
+            vec_t = min(vec_t, time.perf_counter() - start)
+        if vec_t <= fast_t:
+            return blocks
+    # the vector path lost at every probed size: trust the asymptotics
+    # only for buffers beyond the probed range
+    return max(_CALIBRATION_SIZES) * 2
+
+
+def _active_threshold(subkeys: tuple[int, ...]) -> int:
+    global _threshold
+    if _threshold is None:
+        with _threshold_lock:
+            if _threshold is None:
+                _threshold = _calibrate(subkeys)
+    return _threshold
+
+
+def vector_threshold() -> int | None:
+    """The calibrated crossover in blocks (``None`` before first use)."""
+    return _threshold
 
 _MASK32 = np.uint64(0xFFFFFFFF)
 _SHIFT32 = np.uint64(32)
@@ -48,9 +116,11 @@ class VectorDESKernel:
     :meth:`crypt_blocks` is the whole point -- the buffer becomes one
     big-endian ``uint64`` vector, IP/E/SP/FP all run as table gathers over
     the full vector, and the 16-round loop executes once per *buffer*.
-    Single blocks and small buffers delegate to :class:`FastDESKernel`
-    (byte-identical by construction), which is faster below the ndarray
-    setup cost.
+    Buffers below the *calibrated* crossover delegate to
+    :class:`FastDESKernel` (byte-identical by construction), which is
+    faster below the ndarray setup cost; each dispatch is tallied via
+    :func:`repro.crypto.des.note_kernel_decision` so ``stats()`` shows
+    the split.
     """
 
     name = "vector"
@@ -60,49 +130,56 @@ class VectorDESKernel:
 
     @staticmethod
     def crypt_blocks(data: bytes, subkeys: tuple[int, ...]) -> bytes:
-        if len(data) < 8 * _MIN_VECTOR_BLOCKS:
+        if len(data) < 8 * _active_threshold(subkeys):
+            note_kernel_decision(False)
             return FastDESKernel.crypt_blocks(data, subkeys)
-        ip = _IP_NP
-        fp = _FP_NP
-        e = _E_NP
-        sp = _SP_NP
-        v = np.frombuffer(data, dtype=">u8").astype(np.uint64)
-        b = v >> np.uint64(56)
-        t = ip[0][b]
-        t |= ip[1][(v >> np.uint64(48)) & np.uint64(0xFF)]
-        t |= ip[2][(v >> np.uint64(40)) & np.uint64(0xFF)]
-        t |= ip[3][(v >> np.uint64(32)) & np.uint64(0xFF)]
-        t |= ip[4][(v >> np.uint64(24)) & np.uint64(0xFF)]
-        t |= ip[5][(v >> np.uint64(16)) & np.uint64(0xFF)]
-        t |= ip[6][(v >> np.uint64(8)) & np.uint64(0xFF)]
-        t |= ip[7][v & np.uint64(0xFF)]
-        left = t >> _SHIFT32
-        right = t & _MASK32
-        mask6 = np.uint64(0x3F)
-        mask8 = np.uint64(0xFF)
-        for subkey in subkeys:
-            x = e[0][right >> np.uint64(24)]
-            x |= e[1][(right >> np.uint64(16)) & mask8]
-            x |= e[2][(right >> np.uint64(8)) & mask8]
-            x |= e[3][right & mask8]
-            x ^= np.uint64(subkey)
-            f = sp[0][x >> np.uint64(42)]
-            f |= sp[1][(x >> np.uint64(36)) & mask6]
-            f |= sp[2][(x >> np.uint64(30)) & mask6]
-            f |= sp[3][(x >> np.uint64(24)) & mask6]
-            f |= sp[4][(x >> np.uint64(18)) & mask6]
-            f |= sp[5][(x >> np.uint64(12)) & mask6]
-            f |= sp[6][(x >> np.uint64(6)) & mask6]
-            f |= sp[7][x & mask6]
-            left, right = right, left ^ f
-        # Final swap: the last round's halves are exchanged before FP.
-        v = (right << _SHIFT32) | left
-        t = fp[0][v >> np.uint64(56)]
-        t |= fp[1][(v >> np.uint64(48)) & mask8]
-        t |= fp[2][(v >> np.uint64(40)) & mask8]
-        t |= fp[3][(v >> np.uint64(32)) & mask8]
-        t |= fp[4][(v >> np.uint64(24)) & mask8]
-        t |= fp[5][(v >> np.uint64(16)) & mask8]
-        t |= fp[6][(v >> np.uint64(8)) & mask8]
-        t |= fp[7][v & mask8]
-        return t.astype(">u8").tobytes()
+        note_kernel_decision(True)
+        return _crypt_vector(data, subkeys)
+
+
+def _crypt_vector(data: bytes, subkeys: tuple[int, ...]) -> bytes:
+    """The unconditional ndarray computation (calibration calls it raw)."""
+    ip = _IP_NP
+    fp = _FP_NP
+    e = _E_NP
+    sp = _SP_NP
+    v = np.frombuffer(data, dtype=">u8").astype(np.uint64)
+    b = v >> np.uint64(56)
+    t = ip[0][b]
+    t |= ip[1][(v >> np.uint64(48)) & np.uint64(0xFF)]
+    t |= ip[2][(v >> np.uint64(40)) & np.uint64(0xFF)]
+    t |= ip[3][(v >> np.uint64(32)) & np.uint64(0xFF)]
+    t |= ip[4][(v >> np.uint64(24)) & np.uint64(0xFF)]
+    t |= ip[5][(v >> np.uint64(16)) & np.uint64(0xFF)]
+    t |= ip[6][(v >> np.uint64(8)) & np.uint64(0xFF)]
+    t |= ip[7][v & np.uint64(0xFF)]
+    left = t >> _SHIFT32
+    right = t & _MASK32
+    mask6 = np.uint64(0x3F)
+    mask8 = np.uint64(0xFF)
+    for subkey in subkeys:
+        x = e[0][right >> np.uint64(24)]
+        x |= e[1][(right >> np.uint64(16)) & mask8]
+        x |= e[2][(right >> np.uint64(8)) & mask8]
+        x |= e[3][right & mask8]
+        x ^= np.uint64(subkey)
+        f = sp[0][x >> np.uint64(42)]
+        f |= sp[1][(x >> np.uint64(36)) & mask6]
+        f |= sp[2][(x >> np.uint64(30)) & mask6]
+        f |= sp[3][(x >> np.uint64(24)) & mask6]
+        f |= sp[4][(x >> np.uint64(18)) & mask6]
+        f |= sp[5][(x >> np.uint64(12)) & mask6]
+        f |= sp[6][(x >> np.uint64(6)) & mask6]
+        f |= sp[7][x & mask6]
+        left, right = right, left ^ f
+    # Final swap: the last round's halves are exchanged before FP.
+    v = (right << _SHIFT32) | left
+    t = fp[0][v >> np.uint64(56)]
+    t |= fp[1][(v >> np.uint64(48)) & mask8]
+    t |= fp[2][(v >> np.uint64(40)) & mask8]
+    t |= fp[3][(v >> np.uint64(32)) & mask8]
+    t |= fp[4][(v >> np.uint64(24)) & mask8]
+    t |= fp[5][(v >> np.uint64(16)) & mask8]
+    t |= fp[6][(v >> np.uint64(8)) & mask8]
+    t |= fp[7][v & mask8]
+    return t.astype(">u8").tobytes()

@@ -73,11 +73,13 @@ INSTRUMENTS = (
     "pager.read",
     "pager.write",
     "pager.flush",
+    "pager.readahead",
     "cipher.record_encrypt",
     "cipher.record_decrypt",
     "platter.wal_append",
     "platter.fsync",
     "platter.header_flip",
+    "wal.group_commit",
     "executor.full_ship",
     "executor.delta_ship",
 )

@@ -126,6 +126,11 @@ DURABILITY_FIELDS = (
     "frames_replayed",
     "blocks_repaired",
     "checkpoints",
+    # group commit (PR 9): rounds a leader flushed on behalf of a batch,
+    # and follower syncs satisfied by another thread's round without
+    # paying their own WAL append + fsyncs + header flip
+    "group_rounds",
+    "group_joins",
 )
 
 
@@ -193,6 +198,48 @@ class BlockDevice(ABC):
         stored = self._fetch(block_id)
         return self.transform.on_read(block_id, stored) if self.transform else stored
 
+    def read_many(self, block_ids) -> list[bytes]:
+        """Read several blocks in one device round trip.
+
+        The bulk entry point behind readahead and batched cache warming:
+        one call charges the device's fixed per-operation costs once for
+        the whole batch (:class:`~repro.storage.disk.SimulatedDisk`
+        sleeps its ``latency_s`` once; :class:`~repro.storage.platter.
+        FilePlatter` does a single seek-ordered pass), while the
+        transform still runs per block *outside* any device lock, so a
+        readahead worker deciphers an entire batch without stalling
+        foreground I/O.  Semantics are exactly ``[read_block(b) for b in
+        block_ids]`` -- same bounds checks, same per-block statistics,
+        same exceptions.
+        """
+        ids = list(block_ids)
+        for block_id in ids:
+            self._check_id(block_id)
+        stored = self._fetch_many(ids)
+        if self.transform is None:
+            return stored
+        return [self.transform.on_read(b, s) for b, s in zip(ids, stored)]
+
+    def write_many(self, items) -> None:
+        """Write several ``(block_id, data)`` pairs in one round trip.
+
+        The mirror of :meth:`read_many`: transforms run per block before
+        the batch lands, and the backend's :meth:`_store_many` charges
+        fixed costs once.  Equivalent to ``write_block`` in a loop.
+        """
+        pairs = []
+        for block_id, data in items:
+            self._check_id(block_id)
+            stored = self.transform.on_write(block_id, data) if self.transform else data
+            if len(stored) > self.block_size:
+                raise BlockBoundsError(
+                    f"payload of {len(stored)} bytes overflows "
+                    f"{self.block_size}-byte block",
+                    block_id=block_id,
+                )
+            pairs.append((block_id, stored))
+        self._store_many(pairs)
+
     @abstractmethod
     def _store(self, block_id: int, stored: bytes) -> None:
         """Land at-rest bytes: statistics, journal dedup, persistence."""
@@ -200,6 +247,20 @@ class BlockDevice(ABC):
     @abstractmethod
     def _fetch(self, block_id: int) -> bytes:
         """Return at-rest bytes (raising for a never-written block)."""
+
+    def _fetch_many(self, block_ids: list[int]) -> list[bytes]:
+        """Batch at-rest fetch seam; the default simply loops.
+
+        Backends override to amortise fixed per-operation costs over the
+        batch.  Overrides must keep per-block statistics identical to
+        the looped form (only the *time* accounting may differ).
+        """
+        return [self._fetch(block_id) for block_id in block_ids]
+
+    def _store_many(self, pairs: list[tuple[int, bytes]]) -> None:
+        """Batch at-rest store seam; the default simply loops."""
+        for block_id, stored in pairs:
+            self._store(block_id, stored)
 
     # -- whole-platter state (process-executor support) ------------------
 

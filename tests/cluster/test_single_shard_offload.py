@@ -1,0 +1,105 @@
+"""The ``offload_single_shard`` opt-in gate.
+
+PR 4's process executor only offloads batches spanning several shards:
+a one-shard batch stays on the parent thread, because ship costs were
+assumed to dwarf its cipher work.  ``offload_single_shard=True`` drops
+that floor for deployments where the *parent thread itself* is the
+bottleneck.  The suite pins the gate arithmetic and proves a one-shard
+batch through the worker ends byte-identical to the parent-side path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cluster.sharded import ShardedEncipheredDatabase
+from repro.crypto.rsa import RSA, generate_rsa_keypair
+from repro.designs.difference_sets import planar_difference_set
+from repro.designs.multipliers import non_multiplier_units
+from repro.substitution.oval import OvalSubstitution
+
+DESIGN = planar_difference_set(13)  # v = 183
+UNITS = non_multiplier_units(DESIGN)
+
+
+def sub_factory(i: int) -> OvalSubstitution:
+    return OvalSubstitution(DESIGN, t=UNITS[i * 5 % len(UNITS)])
+
+
+def cipher_factory(i: int) -> RSA:
+    return RSA(generate_rsa_keypair(bits=128, rng=random.Random(0x550 + i)))
+
+
+def make_cluster(**kwargs) -> ShardedEncipheredDatabase:
+    return ShardedEncipheredDatabase.create(
+        sub_factory,
+        cipher_factory,
+        num_shards=2,
+        block_size=512,
+        min_degree=2,
+        executor="processes",
+        **kwargs,
+    )
+
+
+def one_shard_batch(cluster, shard, count, seed=0x551):
+    """Keys that all route to ``shard`` (so the batch spans one shard)."""
+    keys = [k for k in range(DESIGN.v) if cluster.router.shard_for(k) == shard]
+    return [(k, f"one-{k}".encode()) for k in random.Random(seed).sample(keys, count)]
+
+
+class TestGate:
+    def test_default_keeps_single_shard_on_parent(self):
+        cluster = make_cluster()
+        try:
+            assert cluster._use_processes([0, 1]) is True
+            assert cluster._use_processes([0]) is False
+        finally:
+            cluster.close()
+
+    def test_opt_in_drops_the_floor(self):
+        cluster = make_cluster(offload_single_shard=True)
+        try:
+            assert cluster._use_processes([0]) is True
+            assert cluster._use_processes([0, 1]) is True
+        finally:
+            cluster.close()
+
+    def test_opt_in_still_respects_transactions(self):
+        cluster = make_cluster(offload_single_shard=True)
+        try:
+            with cluster.transaction():
+                assert cluster._use_processes([0]) is False
+        finally:
+            cluster.close()
+
+
+class TestSingleShardParity:
+    def test_offloaded_one_shard_batch_matches_parent_side(self):
+        offloaded = make_cluster(offload_single_shard=True)
+        control = make_cluster()
+        try:
+            shard = 0
+            batch = one_shard_batch(offloaded, shard, 16)
+            for cluster in (offloaded, control):
+                cluster.bulk_load(one_shard_batch(cluster, 1, 8, seed=0x552))
+                cluster.range_search(0, DESIGN.v)  # processes: ship specs
+                cluster.put_many(batch)
+            assert offloaded.sync_stats()["offloaded_batches"] > (
+                control.sync_stats()["offloaded_batches"]
+            ), "the one-shard batch was not offloaded"
+            assert offloaded.range_search(0, DESIGN.v) == control.range_search(
+                0, DESIGN.v
+            )
+            assert (
+                offloaded.shards[shard].disk.raw_blocks()
+                == control.shards[shard].disk.raw_blocks()
+            )
+            assert (
+                offloaded.shards[shard].records.disk.raw_blocks()
+                == control.shards[shard].records.disk.raw_blocks()
+            )
+            offloaded.check_invariants()
+        finally:
+            offloaded.close()
+            control.close()

@@ -1,0 +1,101 @@
+"""Readahead must move I/O earlier, never change the cipher cost model.
+
+The tree's descent/range-scan hints and the record-block prewarm are
+advisory plumbing: the paper's counted operations -- substitutions,
+pointer-cipher calls, record-cipher calls -- must be *identical* with
+the worker pool on and off, and every query result must match.  (Disk
+timing counters are allowed to differ: that is the whole point.)
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.database import EncipheredDatabase
+from repro.crypto.rsa import RSA, generate_rsa_keypair
+from repro.designs.difference_sets import planar_difference_set
+from repro.storage.backend import MemoryBackend
+from repro.substitution.oval import OvalSubstitution
+
+DESIGN = planar_difference_set(13)
+KEYPAIR = generate_rsa_keypair(bits=128, rng=random.Random(0x8A))
+
+
+def make_db(**kwargs):
+    sub = OvalSubstitution(DESIGN, t=5)
+    return EncipheredDatabase.create(
+        sub, RSA(KEYPAIR), backend=MemoryBackend(), **kwargs
+    )
+
+
+def workload(db):
+    for k in range(0, 160, 2):
+        db.insert(k, f"rec-{k}".encode())
+    results = []
+    for lo, hi in ((0, 40), (30, 90), (100, 159), (0, 159)):
+        results.append(db.range_search(lo, hi))
+    db.tree.warm()
+    results.append(db.range_search(50, 120))
+    return results
+
+
+def cipher_counts(db):
+    s = db.stats()
+    return {
+        "substitution": s["substitution"],
+        "pointer_cipher": s["pointer_cipher"],
+        "record_cipher": s["record_cipher"],
+    }
+
+
+class TestCipherNeutrality:
+    def test_range_scans_with_readahead_cost_the_same_ciphers(self):
+        control = make_db(record_cache_blocks=16)
+        hinted = make_db(record_cache_blocks=16, readahead_workers=2)
+        try:
+            control_results = workload(control)
+            hinted_results = workload(hinted)
+            assert hinted_results == control_results
+            assert cipher_counts(hinted) == cipher_counts(control), (
+                "readahead changed the paper's counted operations"
+            )
+            assert hinted.stats()["pager"]["readaheads"] > 0, (
+                "the hinted arm never actually engaged readahead"
+            )
+            assert control.stats()["pager"]["readaheads"] == 0
+        finally:
+            hinted.close()
+            control.close()
+
+    def test_prewarm_skipped_without_record_cache(self):
+        # with no record cache the prewarm would decipher records the
+        # gets then decipher again -- so it must not run at all
+        db = make_db(record_cache_blocks=0, readahead_workers=2)
+        try:
+            for k in range(0, 60, 2):
+                db.insert(k, f"v{k}".encode())
+            before = db.stats()["record_cipher"]
+            db.range_search(0, 59)
+            control = make_db(record_cache_blocks=0)
+            for k in range(0, 60, 2):
+                control.insert(k, f"v{k}".encode())
+            ctrl_before = control.stats()["record_cipher"]
+            control.range_search(0, 59)
+            assert (
+                _delta(before, db.stats()["record_cipher"])
+                == _delta(ctrl_before, control.stats()["record_cipher"])
+            )
+            control.close()
+        finally:
+            db.close()
+
+    def test_readahead_knob_reaches_the_pager(self):
+        db = make_db(readahead_workers=3)
+        try:
+            assert db.tree.pager.readahead_workers == 3
+        finally:
+            db.close()
+
+
+def _delta(before, after):
+    return {k: after[k] - before[k] for k in after}

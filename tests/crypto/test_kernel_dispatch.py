@@ -1,0 +1,126 @@
+"""Adaptive fast/vector dispatch: calibration, pinning, accounting.
+
+The vector kernel no longer uses a hard-coded 16-block crossover: the
+first bulk call calibrates the fast/vector break-even for this process
+(or ``REPRO_VECTOR_MIN_BLOCKS`` pins it), and every dispatch decision
+is tallied so ``stats()`` can show the split.  These tests pin the
+pinning, the calibration's sanity, the byte-parity of both sides of
+the threshold, and the counter plumbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.crypto import vector
+from repro.crypto.des import (
+    DES,
+    FastDESKernel,
+    kernel_decisions_snapshot,
+    reset_kernel_decisions,
+)
+from repro.crypto.vector import VectorDESKernel, vector_threshold
+from repro.exceptions import KeyError_
+
+KEY = bytes.fromhex("133457799BBCDFF1")
+
+
+@pytest.fixture(autouse=True)
+def pristine_dispatch(monkeypatch):
+    """Each test sees an uncalibrated dispatcher and zeroed counters."""
+    monkeypatch.delenv("REPRO_VECTOR_MIN_BLOCKS", raising=False)
+    vector._threshold = None
+    reset_kernel_decisions()
+    yield
+    vector._threshold = None
+    reset_kernel_decisions()
+
+
+def payload(nblocks):
+    return bytes((i * 37 + 11) & 0xFF for i in range(8 * nblocks))
+
+
+class TestPinnedThreshold:
+    def test_env_pins_the_crossover(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_MIN_BLOCKS", "4")
+        des = DES(KEY, kernel="vector")
+        des.encrypt_blocks(payload(3))  # below: fast
+        des.encrypt_blocks(payload(4))  # at: vector
+        des.encrypt_blocks(payload(64))  # above: vector
+        assert vector_threshold() == 4
+        assert kernel_decisions_snapshot() == {"vector_calls": 2, "fast_calls": 1}
+
+    def test_env_floor_is_one_block(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_MIN_BLOCKS", "0")
+        des = DES(KEY, kernel="vector")
+        des.encrypt_blocks(payload(1))
+        assert vector_threshold() == 1
+        assert kernel_decisions_snapshot()["vector_calls"] == 1
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_MIN_BLOCKS", "many")
+        des = DES(KEY, kernel="vector")
+        with pytest.raises(KeyError_, match="REPRO_VECTOR_MIN_BLOCKS"):
+            des.encrypt_blocks(payload(8))
+
+    def test_parity_on_both_sides_of_the_pin(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_MIN_BLOCKS", "2")
+        fast = DES(KEY, kernel="fast")
+        vec = DES(KEY, kernel="vector")
+        for nblocks in (0, 1, 2, 3, 17):
+            data = payload(nblocks)
+            ct = vec.encrypt_blocks(data)
+            assert ct == fast.encrypt_blocks(data)
+            assert vec.decrypt_blocks(ct) == data
+
+
+class TestCalibration:
+    def test_first_bulk_call_calibrates(self):
+        assert vector_threshold() is None
+        des = DES(KEY, kernel="vector")
+        des.encrypt_blocks(payload(8))
+        measured = vector_threshold()
+        assert isinstance(measured, int)
+        assert measured >= 1
+
+    def test_calibration_runs_once(self):
+        des = DES(KEY, kernel="vector")
+        des.encrypt_blocks(payload(8))
+        first = vector_threshold()
+        des.encrypt_blocks(payload(200))
+        assert vector_threshold() == first
+
+    def test_calibration_derives_no_extra_schedules(self):
+        from repro.crypto.des import schedule_derivations
+
+        des = DES(KEY, kernel="vector")  # the schedule is derived here
+        before = schedule_derivations()
+        des.encrypt_blocks(payload(64))  # triggers calibration
+        assert schedule_derivations() == before, (
+            "calibration must reuse the caller's subkeys, not derive its own"
+        )
+
+
+class TestDecisionCounters:
+    def test_snapshot_is_a_copy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_MIN_BLOCKS", "4")
+        des = DES(KEY, kernel="vector")
+        des.encrypt_blocks(payload(8))
+        snap = kernel_decisions_snapshot()
+        snap["vector_calls"] = 999
+        assert kernel_decisions_snapshot()["vector_calls"] == 1
+
+    def test_reset_zeroes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_MIN_BLOCKS", "4")
+        DES(KEY, kernel="vector").encrypt_blocks(payload(8))
+        reset_kernel_decisions()
+        assert kernel_decisions_snapshot() == {"vector_calls": 0, "fast_calls": 0}
+
+    def test_direct_kernel_calls_count_too(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_MIN_BLOCKS", "4")
+        subkeys = DES(KEY, kernel="fast")._subkeys
+        VectorDESKernel.crypt_blocks(payload(2), subkeys)
+        VectorDESKernel.crypt_blocks(payload(4), subkeys)
+        assert kernel_decisions_snapshot() == {"vector_calls": 1, "fast_calls": 1}

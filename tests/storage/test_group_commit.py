@@ -1,0 +1,216 @@
+"""Group commit on the file platter: coalescing, crash matrix, parity.
+
+Three properties pin the feature down.  First, a batch of concurrent
+committers must reach durability through *one* WAL round -- one frame
+append, one data fsync, one header flip -- which the fsync counter
+proves.  Second, the crash-safety contract is unchanged: every kill
+point in the serial matrix recovers to bytes identical to a
+serial-commit control platter killed at the same point.  Third, a
+single-threaded platter with group commit enabled behaves exactly like
+the serial one (same frames, same fsyncs, same flips) -- the leader
+election degenerates to "always the leader".
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.platter import FilePlatter
+
+
+def make(tmp_path, name="disk", **kwargs):
+    kwargs.setdefault("block_size", 64)
+    kwargs.setdefault("fsync", False)
+    return FilePlatter(tmp_path / f"{name}.platter", **kwargs)
+
+
+class Kill(Exception):
+    """The simulated process death."""
+
+
+def kill_at(platter, point):
+    def hook(p):
+        if p == point:
+            raise Kill
+
+    platter.fault_hook = hook
+
+
+def run_generation_script(platter):
+    """The same two-generation script the serial crash matrix uses."""
+    b0 = platter.allocate()
+    b1 = platter.allocate()
+    platter.write_block(b0, b"gen1-a")
+    platter.write_block(b1, b"gen1-b")
+    platter.sync()
+    platter.write_block(0, b"gen2-a")
+    b2 = platter.allocate()
+    platter.write_block(b2, b"gen2-c")
+
+
+def survivor_bytes(platter):
+    """Every block's recovered payload (None for never-written)."""
+    out = []
+    for block_id in range(platter.num_blocks):
+        try:
+            out.append(platter.read_block(block_id))
+        except StorageError:
+            out.append(None)
+    return out
+
+
+class TestCrashMatrixParity:
+    """Kill a group-commit platter at every fault point; recovery must be
+    byte-identical to a serial-commit control killed at the same point."""
+
+    POINTS = (
+        "sync:start",
+        "wal:appended",
+        "apply:block",
+        "apply:done",
+        "header:flipped",
+    )
+
+    def _killed_survivor(self, tmp_path, name, point, group_commit):
+        p = make(tmp_path, name, group_commit=group_commit)
+        run_generation_script(p)
+        kill_at(p, point)
+        with pytest.raises(Kill):
+            p.sync()
+        p.abandon()
+        return make(tmp_path, name, create=False)
+
+    @pytest.mark.parametrize("point", POINTS)
+    def test_recovery_matches_serial_control(self, tmp_path, point):
+        grouped = self._killed_survivor(tmp_path, "grouped", point, True)
+        control = self._killed_survivor(tmp_path, "control", point, False)
+        assert grouped.num_blocks == control.num_blocks
+        assert survivor_bytes(grouped) == survivor_bytes(control)
+        g, c = grouped.durability_snapshot(), control.durability_snapshot()
+        assert g["frames_replayed"] == c["frames_replayed"]
+        assert g["blocks_repaired"] == c["blocks_repaired"]
+
+    def test_failed_round_releases_leadership(self, tmp_path):
+        # a leader that dies must not leave the group wedged: once the
+        # fault clears, the next sync elects a fresh leader and finishes
+        p = make(tmp_path, group_commit=True)
+        run_generation_script(p)
+        kill_at(p, "sync:start")
+        with pytest.raises(Kill):
+            p.sync()
+        p.fault_hook = None
+        p.sync()
+        assert p.read_block(0) == b"gen2-a"
+        p.close()
+        q = make(tmp_path, create=False)
+        assert q.read_block(0) == b"gen2-a"
+
+
+class TestSingleThreadedParity:
+    def test_counters_match_serial(self, tmp_path):
+        counters = {}
+        for name, group in (("serial", False), ("grouped", True)):
+            p = make(tmp_path, name, fsync=True, group_commit=group)
+            run_generation_script(p)
+            p.sync()
+            p.sync()  # idempotent no-op either way
+            counters[name] = (
+                p.stats.fsyncs,
+                p.stats.header_flips,
+                p.durability_snapshot()["wal_frames"],
+                p.durability_snapshot()["syncs"],
+            )
+            p.close()
+        assert counters["grouped"] == counters["serial"]
+
+    def test_grouped_rounds_counted(self, tmp_path):
+        p = make(tmp_path, group_commit=True)
+        run_generation_script(p)
+        p.sync()
+        snap = p.durability_snapshot()
+        assert snap["group_rounds"] >= 1
+        assert snap["group_joins"] == 0  # nobody waited on another thread
+        p.close()
+
+    def test_negative_fsync_latency_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            make(tmp_path, fsync_latency_s=-0.1)
+
+
+class TestConcurrentCommitters:
+    def test_prestaged_batch_costs_one_fsync_set(self, tmp_path):
+        # all 8 committers stage *before* anyone syncs: the first leader
+        # covers every ticket, so exactly one WAL round runs -- one
+        # frame fsync, one data fsync, one header-flip fsync
+        p = make(tmp_path, fsync=True, group_commit=True)
+        blocks = [p.allocate() for _ in range(8)]
+        for i, b in enumerate(blocks):
+            p.write_block(b, b"committer-%d" % i)
+        p.stats.reset()  # creation's header/WAL-init fsyncs are not the round's
+        barrier = threading.Barrier(8)
+
+        def committer():
+            barrier.wait()
+            p.sync()
+
+        threads = [threading.Thread(target=committer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert p.stats.fsyncs == 3
+        snap = p.durability_snapshot()
+        assert snap["group_rounds"] == 1
+        assert snap["wal_frames"] == 1
+        p.close()
+        q = make(tmp_path, create=False)
+        for i, b in enumerate(blocks):
+            assert q.read_block(b) == b"committer-%d" % i
+
+    def test_sequential_control_pays_per_commit(self, tmp_path):
+        # the baseline the batch above beats: 8 write+sync pairs on a
+        # serial platter cost 3 fsyncs each
+        p = make(tmp_path, name="serial", fsync=True, group_commit=False)
+        p.stats.reset()
+        for i in range(8):
+            b = p.allocate()
+            p.write_block(b, b"committer-%d" % i)
+            p.sync()
+        assert p.stats.fsyncs == 24
+        p.close()
+
+    def test_racing_write_and_sync_threads_all_durable(self, tmp_path):
+        # the unconstrained interleaving: every thread writes its own
+        # block and syncs; whatever the leader schedule, every payload
+        # must be durable and fsyncs never exceed 3 per leader round
+        p = make(tmp_path, fsync=True, group_commit=True)
+        p.stats.reset()
+        blocks = [p.allocate() for _ in range(8)]
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def committer(i):
+            try:
+                barrier.wait()
+                p.write_block(blocks[i], b"racer-%d" % i)
+                p.sync()
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=committer, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        snap = p.durability_snapshot()
+        assert p.stats.fsyncs <= 3 * snap["group_rounds"]
+        p.close()
+        q = make(tmp_path, create=False)
+        for i, b in enumerate(blocks):
+            assert q.read_block(b) == b"racer-%d" % i

@@ -1,0 +1,195 @@
+"""The pager's asynchronous readahead layer.
+
+Readahead is *advisory*: with no worker pool it must be a free no-op,
+and with one it may only ever make reads cheaper -- a stale prefetch
+(the block was rewritten, invalidated or rolled back while the fetch
+was in flight) must be dropped, never served.  The batched device API
+underneath is checked for strict equivalence with the looped form.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import BlockBoundsError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import Pager
+
+
+def make_pager(capacity=8, workers=1, latency_s=0.0, write_back=False):
+    disk = SimulatedDisk(block_size=64, latency_s=latency_s)
+    return Pager(
+        disk,
+        cache_blocks=capacity,
+        write_back=write_back,
+        readahead_workers=workers,
+    )
+
+
+def wait_until(predicate, timeout_s=5.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.001)
+    return False
+
+
+def seeded(pager, n=4):
+    blocks = [pager.allocate() for _ in range(n)]
+    for b in blocks:
+        pager.write(b, b"block-%d" % b)
+    return blocks
+
+
+class TestBulkDeviceApi:
+    def test_read_many_matches_looped_reads(self):
+        disk = SimulatedDisk(block_size=64)
+        ids = [disk.allocate() for _ in range(5)]
+        for b in ids:
+            disk.write_block(b, b"payload-%d" % b)
+        want = [disk.read_block(b) for b in ids]
+        disk.stats.reset()
+        got = disk.read_many(ids)
+        assert got == want
+        assert disk.stats.reads == len(ids)
+
+    def test_write_many_matches_looped_writes(self):
+        one = SimulatedDisk(block_size=64)
+        many = SimulatedDisk(block_size=64)
+        for disk in (one, many):
+            for _ in range(3):
+                disk.allocate()
+        pairs = [(0, b"a"), (1, b"bb"), (2, b"ccc")]
+        for b, data in pairs:
+            one.write_block(b, data)
+        many.write_many(pairs)
+        assert [many.read_block(b) for b in range(3)] == [
+            one.read_block(b) for b in range(3)
+        ]
+        assert many.stats.writes == one.stats.writes
+
+    def test_read_many_charges_one_wait(self):
+        disk = SimulatedDisk(block_size=64, latency_s=0.02)
+        ids = [disk.allocate() for _ in range(4)]
+        for b in ids:
+            disk.write_block(b, b"x")
+        disk.stats.reset()
+        start = time.monotonic()
+        disk.read_many(ids)
+        elapsed = time.monotonic() - start
+        assert elapsed < 4 * 0.02  # one charge, not one per block
+        assert disk.stats.reads == 4
+        assert disk.stats.read_time_s == pytest.approx(0.02)
+
+    def test_read_many_unwritten_raises(self):
+        disk = SimulatedDisk(block_size=64)
+        disk.allocate()
+        with pytest.raises(BlockBoundsError):
+            disk.read_many([0])
+
+
+class TestReadahead:
+    def test_disabled_is_a_free_noop(self):
+        pager = make_pager(workers=0)
+        blocks = seeded(pager)
+        assert pager.readahead(blocks) == 0
+        assert pager.stats.readaheads == 0
+
+    def test_prefetch_fills_the_raw_cache(self):
+        pager = make_pager(workers=2)
+        blocks = seeded(pager)
+        pager.clear_cache()
+        queued = pager.readahead(blocks)
+        assert queued == len(blocks)
+        assert wait_until(
+            lambda: pager.stats.readahead_loads + pager.stats.readahead_drops
+            >= len(blocks)
+        )
+        pager.disk.stats.reset()
+        for b in blocks:
+            assert pager.read(b) == b"block-%d" % b
+        assert pager.disk.stats.reads == 0  # every read was prefetched
+        pager.close()
+
+    def test_cached_and_dirty_blocks_not_queued(self):
+        pager = make_pager(workers=1, write_back=True)
+        blocks = seeded(pager)  # write-back: cached and dirty
+        assert pager.readahead(blocks) == 0
+        assert pager.stats.readaheads == 0
+        pager.flush()
+        pager.close()
+
+    def test_duplicate_hints_are_queued_once(self):
+        pager = make_pager(workers=1, latency_s=0.05)
+        blocks = seeded(pager, 2)
+        pager.clear_cache()
+        first = pager.readahead(blocks)
+        second = pager.readahead(blocks)  # still in flight: filtered
+        assert first == 2
+        assert second == 0
+        pager.close()
+
+    def test_stale_prefetch_never_overwrites_a_write(self):
+        # hold the prefetch in the device (50ms latency), rewrite the
+        # block while it is in flight: the poisoned fill must be dropped
+        pager = make_pager(workers=1, latency_s=0.05)
+        blocks = seeded(pager, 3)
+        pager.clear_cache()
+        pager.readahead(blocks)
+        pager.write(blocks[0], b"rewritten")
+        assert wait_until(
+            lambda: pager.stats.readahead_loads + pager.stats.readahead_drops
+            >= len(blocks)
+        )
+        pager.disk.latency_s = 0.0
+        assert pager.read(blocks[0]) == b"rewritten"
+        pager.close()
+
+    def test_invalidate_poisons_inflight(self):
+        pager = make_pager(workers=1, latency_s=0.05)
+        blocks = seeded(pager, 2)
+        pager.clear_cache()
+        pager.readahead(blocks)
+        pager.invalidate(blocks[0])
+        assert wait_until(
+            lambda: pager.stats.readahead_loads + pager.stats.readahead_drops >= 2
+        )
+        # the dropped fill forces a fresh disk read, which must succeed
+        pager.disk.latency_s = 0.0
+        pager.disk.stats.reset()
+        assert pager.read(blocks[0]) == b"block-%d" % blocks[0]
+        pager.close()
+
+    def test_rollback_discard_poisons_inflight(self):
+        # the regression ISSUE 9's bugfix sweep asks for: discard_dirty
+        # (a rollback) while a prefetch of the same block is in flight
+        # must not let the pre-rollback bytes reappear from the cache
+        pager = make_pager(workers=1, latency_s=0.05, write_back=True)
+        pager.retain_dirty = True
+        b = pager.allocate()
+        pager.write(b, b"committed")
+        pager.flush()
+        pager.clear_cache()
+        pager.readahead([b])  # prefetch of the committed bytes in flight
+        pager.write(b, b"uncommitted")
+        pager.discard_dirty()  # rollback: drops the dirty page, poisons
+        assert wait_until(
+            lambda: pager.stats.readahead_loads + pager.stats.readahead_drops >= 1
+        )
+        pager.disk.latency_s = 0.0
+        assert pager.read(b) == b"committed"
+        pager.flush()
+        pager.close()
+
+    def test_close_is_idempotent_and_stops_workers(self):
+        pager = make_pager(workers=2)
+        blocks = seeded(pager)
+        pager.clear_cache()
+        pager.readahead(blocks)
+        pager.close()
+        pager.close()
+        assert pager.readahead(blocks) >= 0  # never deadlocks
+        pager.close()
