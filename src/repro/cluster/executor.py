@@ -63,8 +63,10 @@ through it).
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -72,7 +74,12 @@ from repro.cluster.stats import subtract_counter_dicts
 from repro.core.database import EncipheredDatabase
 from repro.core.records import RecordStore
 from repro.crypto.base import IntegerCipher
-from repro.exceptions import StorageError
+from repro.exceptions import (
+    ShardUnavailableError,
+    StorageError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
 from repro.obs import ObsConfig
 from repro.storage.disk import SimulatedDisk
 from repro.substitution.base import KeySubstitution
@@ -213,6 +220,22 @@ def _shard_worker(conn) -> None:
     # each offloaded batch checkpoints at the counter, mutates, seals
     # counter+1 and collects exactly that batch's changed blocks.
     offload_epoch = 0
+    # Chaos cues (armed by the parent's "chaos" op): crash or hang the
+    # worker after N serving ops -- the deterministic stand-in for a
+    # SIGKILL'd or wedged worker that the supervision tests drive.
+    chaos = {"crash": None, "hang": None, "hang_s": 0.0}
+
+    def _chaos_tick() -> None:
+        if chaos["crash"] is not None:
+            chaos["crash"] -= 1
+            if chaos["crash"] <= 0:
+                os._exit(17)  # die without replying: the parent sees EOF
+        if chaos["hang"] is not None:
+            chaos["hang"] -= 1
+            if chaos["hang"] <= 0:
+                chaos["hang"] = None
+                time.sleep(chaos["hang_s"])  # the parent's deadline reaps us
+
     while True:
         try:
             op, payload = conn.recv()
@@ -235,13 +258,17 @@ def _shard_worker(conn) -> None:
                 db.apply_delta(payload)
                 conn.send(("ok", db.stats()))
             elif op == "warm":
+                _chaos_tick()
                 conn.send(("ok", db.warm(payload)))
             elif op == "range_search":
+                _chaos_tick()
                 conn.send(("ok", db.range_search(*payload)))
             elif op == "get_many":
+                _chaos_tick()
                 keys, default = payload
                 conn.send(("ok", [db.get(key, default) for key in keys]))
             elif op == "bulk_load":
+                _chaos_tick()
                 db.bulk_load(payload)
                 conn.send((
                     "ok",
@@ -257,6 +284,7 @@ def _shard_worker(conn) -> None:
                 # replica (where this process's cipher plane does the
                 # work) and ship the resulting delta back for parent
                 # apply -- the mutation mirror of bulk_load's channel.
+                _chaos_tick()
                 base = offload_epoch
                 db.truncate_journals(base)  # replica == parent snapshot
                 if op == "put_many":
@@ -293,6 +321,15 @@ def _shard_worker(conn) -> None:
                 conn.send(("ok", db.obs.heat.block_counts()))
             elif op == "clear_caches":
                 db.clear_caches()
+                conn.send(("ok", None))
+            elif op == "ping":
+                # heartbeat: answered even before any "open", so the
+                # supervisor can probe liveness without shipping state
+                conn.send(("ok", "pong"))
+            elif op == "chaos":
+                chaos["crash"] = payload.get("crash_after")
+                chaos["hang"] = payload.get("hang_after")
+                chaos["hang_s"] = payload.get("hang_s", 0.0)
                 conn.send(("ok", None))
             else:
                 conn.send(("error", StorageError(f"unknown worker op {op!r}")))
@@ -331,9 +368,23 @@ class ProcessShardExecutor:
         pointer_cipher_factory: Callable[[int], IntegerCipher],
         num_shards: int,
         delta_sync: bool = True,
+        op_deadline_s: float | None = None,
+        respawn_limit: int = 3,
     ) -> None:
         self._substitution_factory = substitution_factory
         self._pointer_cipher_factory = pointer_cipher_factory
+        #: Per-op deadline on the result pipes: a worker that takes
+        #: longer than this to answer is presumed hung, killed, and the
+        #: op fails with :class:`WorkerTimeoutError` (retryable -- a
+        #: fresh worker gets one more shot).  ``None`` waits forever,
+        #: the pre-supervision behaviour.
+        self.op_deadline_s = op_deadline_s
+        #: Consecutive respawns tolerated per shard before the executor
+        #: declares the worker unsupervisable and raises
+        #: :class:`ShardUnavailableError`.  Any successful reply resets
+        #: the count -- the budget bounds *consecutive* failures, not
+        #: lifetime ones.
+        self.respawn_limit = respawn_limit
         #: When True (default), a stale worker is caught up by shipping
         #: only the blocks its shard's journals prove changed; False
         #: forces the PR-4 behaviour (full state re-ship on every epoch
@@ -357,6 +408,14 @@ class ProcessShardExecutor:
             "offloaded_batches": 0,
             "offload_bytes": 0,
             "offload_blocks": 0,
+            # supervision (PR 10): deaths observed mid-conversation,
+            # deadline kills, bounded respawns, ops salvaged by a
+            # respawn-and-retry, and heartbeat probes answered
+            "worker_deaths": 0,
+            "op_timeouts": 0,
+            "respawns": 0,
+            "op_retries": 0,
+            "heartbeats": 0,
         }
         try:
             self._mp = multiprocessing.get_context("fork")
@@ -364,6 +423,11 @@ class ProcessShardExecutor:
             self._mp = multiprocessing.get_context()
         self._procs: list[multiprocessing.process.BaseProcess | None] = [None] * num_shards
         self._conns: list[object | None] = [None] * num_shards
+        # supervision bookkeeping: whether shard i ever had a worker
+        # (distinguishes first spawn from respawn) and how many respawns
+        # in a row have gone unrewarded by a successful reply
+        self._spawned = [False] * num_shards
+        self._consec_respawns = [0] * num_shards
         #: Epoch of the spec each worker currently holds (-1 = none yet).
         self.epochs_sent = [-1] * num_shards
         # Counter accounting: ``_base[i]`` is worker i's stats right
@@ -383,26 +447,91 @@ class ProcessShardExecutor:
 
     # -- plumbing --------------------------------------------------------
 
-    def _recv(self, index: int):
+    _DEADLINE_DEFAULT = object()  # sentinel: "use self.op_deadline_s"
+
+    def _reap(self, index: int, timed_out: bool = False) -> None:
+        """Put down worker ``index`` and forget its pipe state.
+
+        Called when the worker died mid-conversation (EOF on the pipe)
+        or missed its op deadline.  The process is killed if still
+        alive (a hung worker must not linger), the connection dropped,
+        and the replica bookkeeping reset so the next :meth:`sync` does
+        a full respawn-and-resync.
+        """
+        proc = self._procs[index]
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+                if proc.is_alive():  # pragma: no cover - stubborn worker
+                    proc.kill()
+                    proc.join(timeout=1.0)
+            self._procs[index] = None
+        conn = self._conns[index]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already broken
+                pass
+            self._conns[index] = None
+        self._base[index] = None
+        self._heat_base[index] = {}
+        self.epochs_sent[index] = -1
+        self.sync_stats["worker_deaths"] += 1
+        if timed_out:
+            self.sync_stats["op_timeouts"] += 1
+
+    def _recv(self, index: int, deadline=_DEADLINE_DEFAULT):
+        conn = self._conns[index]
+        if conn is None:
+            raise WorkerCrashError(index, "worker died: no live connection")
+        if deadline is self._DEADLINE_DEFAULT:
+            deadline = self.op_deadline_s
+        if deadline is not None and not conn.poll(deadline):
+            self._reap(index, timed_out=True)
+            raise WorkerTimeoutError(
+                index, f"worker missed its {deadline}s op deadline"
+            )
         try:
-            tag, value = self._conns[index].recv()
+            tag, value = conn.recv()
         except (EOFError, OSError) as exc:
-            raise StorageError(f"shard {index} worker died: {exc}") from exc
+            self._reap(index)
+            raise WorkerCrashError(index, f"worker died: {exc}") from exc
+        self._consec_respawns[index] = 0  # a reply is proof of life
         if tag == "error":
             raise value
         return value
 
-    def _request(self, index: int, op: str, payload) -> object:
+    def _request(self, index: int, op: str, payload, deadline=_DEADLINE_DEFAULT):
+        conn = self._conns[index]
+        if conn is None:
+            raise WorkerCrashError(index, "worker died: no live connection")
         try:
-            self._conns[index].send((op, payload))
-        except OSError as exc:  # dead worker: same surface as a recv failure,
-            # so harvest/extra_counters/close degrade instead of crashing
-            raise StorageError(f"shard {index} worker died: {exc}") from exc
-        return self._recv(index)
+            conn.send((op, payload))
+        except (OSError, ValueError) as exc:  # dead worker: same surface as a
+            # recv failure, so harvest/extra_counters/close degrade
+            # instead of crashing
+            self._reap(index)
+            raise WorkerCrashError(index, f"worker died: {exc}") from exc
+        return self._recv(index, deadline=deadline)
 
-    def _ensure_worker(self, index: int) -> None:
+    def _ensure_worker(self, index: int) -> bool:
+        """Spawn shard ``index``'s worker if absent; True when it respawned."""
         if self._procs[index] is not None and self._procs[index].is_alive():
-            return
+            return False
+        respawn = False
+        if self._spawned[index]:
+            # bounded automatic respawn: a worker that keeps dying
+            # without ever answering stops being worth resurrecting
+            if self._consec_respawns[index] >= self.respawn_limit:
+                raise ShardUnavailableError(
+                    index,
+                    f"worker respawn budget exhausted "
+                    f"({self.respawn_limit} consecutive respawns)",
+                )
+            self._consec_respawns[index] += 1
+            self.sync_stats["respawns"] += 1
+            respawn = True
         parent_conn, child_conn = self._mp.Pipe()
         proc = self._mp.Process(
             target=_shard_worker,
@@ -414,9 +543,62 @@ class ProcessShardExecutor:
         child_conn.close()
         self._procs[index] = proc
         self._conns[index] = parent_conn
+        self._spawned[index] = True
         self.epochs_sent[index] = -1
         self._base[index] = None
         self._heat_base[index] = {}
+        return respawn
+
+    # -- supervision -----------------------------------------------------
+
+    def heartbeat(self, timeout_s: float = 1.0) -> list[bool | None]:
+        """Probe every spawned worker's pipe with a ``ping``.
+
+        Returns one entry per shard: ``True`` for a live worker that
+        answered in time, ``False`` for one that was just found dead (or
+        hung) and reaped, ``None`` for a shard with no worker spawned.
+        A reaped worker respawns on its next :meth:`sync`, so a periodic
+        heartbeat turns silent deaths into bounded-latency detections.
+        """
+        with self._dispatch_lock:
+            alive: list[bool | None] = []
+            for index, conn in enumerate(self._conns):
+                if conn is None:
+                    alive.append(None)
+                    continue
+                try:
+                    ok = self._request(
+                        index, "ping", None, deadline=timeout_s
+                    ) == "pong"
+                except StorageError:
+                    ok = False
+                self.sync_stats["heartbeats"] += 1
+                alive.append(ok)
+            return alive
+
+    def inject_worker_fault(
+        self,
+        index: int,
+        *,
+        crash_after: int | None = None,
+        hang_after: int | None = None,
+        hang_s: float = 3600.0,
+    ) -> None:
+        """Arm a chaos cue in worker ``index`` (spawning it if needed).
+
+        ``crash_after=N`` makes the worker die (``os._exit``) at the
+        start of its Nth subsequent serving op -- before replying, so the
+        parent observes a mid-conversation EOF, exactly like a SIGKILL.
+        ``hang_after=N`` makes it sleep ``hang_s`` at that op instead,
+        the scenario the per-op deadline exists for.
+        """
+        with self._dispatch_lock:
+            self._ensure_worker(index)
+            self._request(index, "chaos", {
+                "crash_after": crash_after,
+                "hang_after": hang_after,
+                "hang_s": hang_s,
+            })
 
     def sync(self, index: int, shard: EncipheredDatabase, epoch: int) -> None:
         """Make worker ``index`` hold the parent's current shard state.
@@ -430,7 +612,11 @@ class ProcessShardExecutor:
         full-spec path, whose own guards still apply.
         """
         with self._dispatch_lock:
-            self._ensure_worker(index)
+            if self._ensure_worker(index):
+                # mark the resurrection in the shard's span stream: the
+                # full ship that follows is recovery traffic, not load
+                with shard.obs.trace("executor.respawn"):
+                    pass
             if self.epochs_sent[index] == epoch:
                 return
             # the stale replica's work must keep counting (heat included)
@@ -510,16 +696,33 @@ class ProcessShardExecutor:
                         pass
                 raise
             results = []
-            first_error: Exception | None = None
-            for index in shard_ids:
+            failures: dict[int, Exception] = {}
+            for pos, index in enumerate(shard_ids):
                 try:
                     results.append(self._recv(index))
                 except Exception as exc:
-                    if first_error is None:
-                        first_error = exc
+                    failures[pos] = exc
                     results.append(None)
-            if first_error is not None:
-                raise first_error
+            # one respawn-and-retry round: every op dispatched through
+            # map() is idempotent against a fresh replica (reads, warm,
+            # bulk_load onto a re-shipped copy), so a worker that died
+            # or hung mid-answer gets respawned, re-synced and asked
+            # exactly once more.  Anything else -- a real error reply,
+            # an exhausted respawn budget -- stays failed.
+            for pos, exc in list(failures.items()):
+                if not isinstance(exc, WorkerCrashError):
+                    continue
+                index = shard_ids[pos]
+                try:
+                    self.sync(index, shards[index], epochs[index])
+                    results[pos] = self._request(index, op, payloads[pos])
+                except Exception as retry_exc:
+                    failures[pos] = retry_exc
+                else:
+                    del failures[pos]
+                    self.sync_stats["op_retries"] += 1
+            if failures:
+                raise next(iter(failures.values()))
             return results
 
     def map_settled(
@@ -682,10 +885,16 @@ class ProcessShardExecutor:
                     continue
                 self.harvest(index)
                 try:
-                    self._request(index, "stop", None)
+                    # bounded even without a configured op deadline: a
+                    # hung worker must not be able to block shutdown
+                    self._request(
+                        index, "stop", None,
+                        deadline=self.op_deadline_s or 5.0,
+                    )
                 except StorageError:
                     pass  # already dead; join below reaps it
-                conn.close()
+                if self._conns[index] is not None:
+                    self._conns[index].close()
                 self._conns[index] = None
                 self._base[index] = None
                 self.epochs_sent[index] = -1

@@ -49,6 +49,13 @@ from contextlib import ExitStack, contextmanager
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.cluster.executor import ProcessShardExecutor, UncommittedShardState
+from repro.cluster.health import (
+    DEGRADED,
+    HEALTHY,
+    QUARANTINED,
+    ClusterHealth,
+    PartialResult,
+)
 from repro.cluster.manifest import ClusterManifest
 from repro.cluster.router import HashRouter, RangeRouter, ShardRouter
 from repro.cluster.stats import ClusterStats, merge_counter_dicts
@@ -56,7 +63,15 @@ from repro.core.database import EncipheredDatabase
 from repro.core.records import RecordStore
 from repro.crypto.base import IntegerCipher
 from repro.crypto.des import DES
-from repro.exceptions import BTreeError, DuplicateKeyError, StorageError
+from repro.exceptions import (
+    BTreeError,
+    DuplicateKeyError,
+    PermanentIOError,
+    ShardUnavailableError,
+    StorageError,
+    TransientIOError,
+    WorkerCrashError,
+)
 from repro.obs import ObsConfig
 from repro.storage.backend import StorageBackend
 from repro.storage.device import BlockDevice
@@ -68,6 +83,9 @@ _DEFAULT_DATA_KEY = b"\x13\x34\x57\x79\x9b\xbc\xdf\xf1"
 
 _SUPER_LABEL = b"SUPR"
 _DATA_LABEL = b"DATA"
+
+#: numeric encoding for the per-shard ``health.state`` gauge
+_HEALTH_GAUGE = {HEALTHY: 0, DEGRADED: 1, QUARANTINED: 2}
 
 
 def derive_shard_key(base_key: bytes, label: bytes, shard_index: int) -> bytes:
@@ -117,6 +135,8 @@ class ShardedEncipheredDatabase:
         shard_factories: tuple | None = None,
         delta_sync: bool = True,
         offload_single_shard: bool = False,
+        degraded_reads: bool = False,
+        op_deadline_s: float | None = None,
     ) -> None:
         if not shards:
             raise StorageError("a cluster needs at least one shard")
@@ -159,6 +179,18 @@ class ShardedEncipheredDatabase:
         #: C15 records the measured parent-thread relief either way.
         self.offload_single_shard = offload_single_shard
         self._procs: ProcessShardExecutor | None = None
+        #: Fault-tolerance plane (PR 10): one health state machine per
+        #: shard, fed by operation outcomes.  Quarantined shards make
+        #: cluster operations fail fast with ShardUnavailableError --
+        #: unless ``degraded_reads`` opts read fan-outs into skipping
+        #: them and returning a :class:`PartialResult` that names the
+        #: missing shards.
+        self.health = ClusterHealth(len(self.shards))
+        self.degraded_reads = degraded_reads
+        #: Per-op deadline handed to the process executor's result
+        #: pipes; ``None`` waits forever (the pre-supervision default).
+        self.op_deadline_s = op_deadline_s
+        self._closed = False
 
     # -- lifecycle -------------------------------------------------------
 
@@ -185,6 +217,8 @@ class ShardedEncipheredDatabase:
         executor: str = "threads",
         delta_sync: bool = True,
         offload_single_shard: bool = False,
+        degraded_reads: bool = False,
+        op_deadline_s: float | None = None,
         backend: StorageBackend | None = None,
         observability: ObsConfig | None = None,
     ) -> "ShardedEncipheredDatabase":
@@ -259,6 +293,8 @@ class ShardedEncipheredDatabase:
             shard_factories=(substitution_factory, pointer_cipher_factory),
             delta_sync=delta_sync,
             offload_single_shard=offload_single_shard,
+            degraded_reads=degraded_reads,
+            op_deadline_s=op_deadline_s,
         )
 
     @classmethod
@@ -281,6 +317,8 @@ class ShardedEncipheredDatabase:
         executor: str = "threads",
         delta_sync: bool = True,
         offload_single_shard: bool = False,
+        degraded_reads: bool = False,
+        op_deadline_s: float | None = None,
         observability: ObsConfig | None = None,
     ) -> "ShardedEncipheredDatabase":
         """Rebuild a cluster from each shard's platters and the secrets.
@@ -334,6 +372,8 @@ class ShardedEncipheredDatabase:
             shard_factories=(substitution_factory, pointer_cipher_factory),
             delta_sync=delta_sync,
             offload_single_shard=offload_single_shard,
+            degraded_reads=degraded_reads,
+            op_deadline_s=op_deadline_s,
         )
 
     @classmethod
@@ -356,6 +396,8 @@ class ShardedEncipheredDatabase:
         executor: str = "threads",
         delta_sync: bool = True,
         offload_single_shard: bool = False,
+        degraded_reads: bool = False,
+        op_deadline_s: float | None = None,
         observability: ObsConfig | None = None,
     ) -> "ShardedEncipheredDatabase":
         """Rebuild a cluster from its backend and the base secrets alone.
@@ -409,6 +451,8 @@ class ShardedEncipheredDatabase:
             shard_factories=(substitution_factory, pointer_cipher_factory),
             delta_sync=delta_sync,
             offload_single_shard=offload_single_shard,
+            degraded_reads=degraded_reads,
+            op_deadline_s=op_deadline_s,
         )
 
     @staticmethod
@@ -470,6 +514,7 @@ class ShardedEncipheredDatabase:
                     pointer_cipher_factory,
                     len(self.shards),
                     delta_sync=self._delta_sync,
+                    op_deadline_s=self.op_deadline_s,
                 )
             return self._procs
 
@@ -543,6 +588,75 @@ class ShardedEncipheredDatabase:
             [i for i in shard_ids if self.shards[i].has_unsealed_changes]
         )
 
+    # -- fault tolerance (PR 10) -----------------------------------------
+
+    def _unavailable(self, shard_id: int) -> ShardUnavailableError:
+        reason = self.health.reason(shard_id) or "quarantined"
+        return ShardUnavailableError(shard_id, reason)
+
+    def _require_available(self, shard_ids: Iterable[int]) -> None:
+        """Fail fast -- before any bytes move -- if a needed shard is out.
+
+        Mutations call this over *every* shard their batch touches, so a
+        batch never half-applies against a cluster with a known-dead
+        member: the caller gets the typed error while all shards are
+        still untouched (per-shard atomicity for the remaining failure
+        modes is unchanged).
+        """
+        for shard_id in shard_ids:
+            if self.health.is_quarantined(shard_id):
+                raise self._unavailable(shard_id)
+
+    def _serviceable(self, shard_ids: Sequence[int]) -> tuple[list[int], list[int]]:
+        """Split a read fan-out's shards into (serving, skipped).
+
+        Without ``degraded_reads`` a quarantined member makes the whole
+        read fail fast; with it, the quarantined shards are returned as
+        the ``skipped`` list and the caller serves a
+        :class:`PartialResult` from the rest.
+        """
+        available, quarantined = self.health.partition(shard_ids)
+        if quarantined and not self.degraded_reads:
+            raise self._unavailable(quarantined[0])
+        return available, quarantined
+
+    def _on_shard(self, shard_id: int, fn: Callable[[], object]) -> object:
+        """Run one shard-touching operation under health accounting.
+
+        Success feeds the shard's recovery streak; an escaped
+        :class:`TransientIOError` (the device retries are already
+        exhausted by this point) feeds its failure streak; a
+        :class:`PermanentIOError` quarantines it on the spot and
+        resurfaces as the typed :class:`ShardUnavailableError`.
+        Logical errors (duplicate key, key not found) pass through
+        untouched -- they say nothing about the shard's hardware.
+        """
+        if self.health.is_quarantined(shard_id):
+            raise self._unavailable(shard_id)
+        try:
+            result = fn()
+        except PermanentIOError as exc:
+            self.health.record_permanent(shard_id, str(exc))
+            raise ShardUnavailableError(shard_id, str(exc)) from exc
+        except TransientIOError as exc:
+            self.health.record_failure(shard_id, str(exc))
+            raise
+        self.health.record_success(shard_id)
+        return result
+
+    def _note_worker_trouble(self, exc: BaseException, shard_ids: Sequence[int]) -> None:
+        """A process-backend fan-out lost its worker(s); record and move on.
+
+        Worker trouble is *not* shard trouble: the parent's copy of the
+        shard is intact and the caller is about to serve the operation
+        in-process, so the loss feeds the failure streak (degrading a
+        shard whose worker keeps dying) without quarantining anything.
+        """
+        shard_id = getattr(exc, "shard_id", None)
+        if shard_id is None or shard_id not in shard_ids:
+            shard_id = shard_ids[0] if shard_ids else 0
+        self.health.record_worker_loss(shard_id, str(exc))
+
     def close(self) -> None:
         """Commit every shard, release devices and worker threads/processes.
 
@@ -552,13 +666,32 @@ class ShardedEncipheredDatabase:
         callers rely on.  Worker replicas' record-block heat is
         harvested into the parent shards first, so the heat each shard
         persists on close covers every process that touched it.
+
+        Idempotent, and hardened against a degraded cluster: a second
+        call is a no-op, quarantined shards are skipped (their device
+        already failed permanently -- syncing it again can only raise
+        the error the quarantine recorded), and every shard's resources
+        are released even when an earlier shard's final commit raises.
+        The first non-quarantined shard's error still propagates after
+        the cleanup finishes.
         """
-        self.commit()
+        if self._closed:
+            return
+        self._closed = True
+        first_error: BaseException | None = None
+        try:
+            self.commit()
+        except BaseException as exc:
+            first_error = exc
         if self._procs is not None:
             for i, shard in enumerate(self.shards):
                 self._procs.harvest(i, shard)
-        for shard in self.shards:
-            shard.close()
+        for i, shard in enumerate(self.shards):
+            try:
+                shard.close()
+            except BaseException as exc:
+                if first_error is None and not self.health.is_quarantined(i):
+                    first_error = exc
         with self._executor_lock:
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
@@ -566,6 +699,8 @@ class ShardedEncipheredDatabase:
         if self._procs is not None:
             # keep the object: its harvested counters still feed stats()
             self._procs.close()
+        if first_error is not None:
+            raise first_error
 
     def __enter__(self) -> "ShardedEncipheredDatabase":
         return self
@@ -618,21 +753,26 @@ class ShardedEncipheredDatabase:
 
     def insert(self, key: int, record: bytes) -> None:
         shard_id = self.router.shard_for(key)
-        self.shards[shard_id].insert(key, record)
+        self._on_shard(shard_id, lambda: self.shards[shard_id].insert(key, record))
         self._note_writes((shard_id,))
 
     def search(self, key: int) -> bytes:
-        return self._shard(key).search(key)
+        shard_id = self.router.shard_for(key)
+        return self._on_shard(shard_id, lambda: self.shards[shard_id].search(key))
 
     def get(self, key: int, default: bytes | None = None) -> bytes | None:
-        return self._shard(key).get(key, default)
+        shard_id = self.router.shard_for(key)
+        return self._on_shard(
+            shard_id, lambda: self.shards[shard_id].get(key, default)
+        )
 
     def __contains__(self, key: int) -> bool:
-        return key in self._shard(key)
+        shard_id = self.router.shard_for(key)
+        return self._on_shard(shard_id, lambda: key in self.shards[shard_id])
 
     def delete(self, key: int) -> None:
         shard_id = self.router.shard_for(key)
-        self.shards[shard_id].delete(key)
+        self._on_shard(shard_id, lambda: self.shards[shard_id].delete(key))
         self._note_writes((shard_id,))
 
     # -- fanned-out operations -------------------------------------------
@@ -643,62 +783,102 @@ class ShardedEncipheredDatabase:
         The router prunes the shard set (a :class:`RangeRouter` touches
         only overlapping sub-ranges); the surviving shards are queried in
         parallel and their sorted partial results merged.
+
+        Quarantined shards make the read fail fast with
+        :class:`~repro.exceptions.ShardUnavailableError` -- unless the
+        cluster was built with ``degraded_reads=True``, in which case
+        they are skipped and the merge comes back as a
+        :class:`~repro.cluster.health.PartialResult` naming them.  A
+        worker crash mid fan-out is absorbed: the executor already
+        retried once against a fresh replica, and if that failed too the
+        read is served by the parent's own (intact) shards in-process.
         """
         shard_ids = self.router.shards_for_range(lo, hi)
+        serving, skipped = self._serviceable(shard_ids)
         partials = None
-        if self._use_processes(shard_ids):
+        if serving and self._use_processes(serving):
             try:
                 partials = self._process_map(
-                    "range_search", shard_ids, [(lo, hi)] * len(shard_ids)
+                    "range_search", serving, [(lo, hi)] * len(serving)
                 )
             except UncommittedShardState:
                 partials = None  # racing writer left dirt: serve in-process
+            except (WorkerCrashError, ShardUnavailableError) as exc:
+                self._note_worker_trouble(exc, serving)
+                partials = None  # workers are gone; the parent shards are not
         if partials is None:
             partials = self._fan_out(
-                lambda i: self.shards[i].range_search(lo, hi), shard_ids
+                lambda i: self._on_shard(
+                    i, lambda: self.shards[i].range_search(lo, hi)
+                ),
+                serving,
             )
         if len(partials) <= 1:
-            return partials[0] if partials else []
-        return sorted(
-            (pair for partial in partials for pair in partial),
-            key=lambda pair: pair[0],
-        )
+            merged = partials[0] if partials else []
+        else:
+            merged = sorted(
+                (pair for partial in partials for pair in partial),
+                key=lambda pair: pair[0],
+            )
+        if skipped:
+            self.health.record_degraded_read()
+            return PartialResult(merged, missing_shards=skipped)
+        return merged
 
     def get_many(
         self, keys: Sequence[int], default: bytes | None = None
     ) -> list[bytes | None]:
-        """Batch point lookups, fanned out by shard; aligned with ``keys``."""
+        """Batch point lookups, fanned out by shard; aligned with ``keys``.
+
+        Degradation mirrors :meth:`range_search`: quarantined shards
+        fail the batch fast unless ``degraded_reads=True``, where their
+        keys' positions keep ``default`` and the (still aligned) result
+        comes back as a :class:`~repro.cluster.health.PartialResult`.
+        """
         by_shard = self.router.partition(
             list(enumerate(keys)), key=lambda pk: pk[1]
         )
         out: list[bytes | None] = [default] * len(keys)
         touched = [i for i, group in enumerate(by_shard) if group]
+        serving, skipped = self._serviceable(touched)
 
-        if self._use_processes(touched):
+        def finish(values: list) -> list[bytes | None]:
+            if skipped:
+                self.health.record_degraded_read()
+                return PartialResult(values, missing_shards=skipped)
+            return values
+
+        if serving and self._use_processes(serving):
             payloads = [
-                ([key for _, key in by_shard[i]], default) for i in touched
+                ([key for _, key in by_shard[i]], default) for i in serving
             ]
             try:
-                chunks = self._process_map("get_many", touched, payloads)
+                chunks = self._process_map("get_many", serving, payloads)
             except UncommittedShardState:
                 chunks = None  # racing writer left dirt: serve in-process
+            except (WorkerCrashError, ShardUnavailableError) as exc:
+                self._note_worker_trouble(exc, serving)
+                chunks = None  # workers are gone; the parent shards are not
             if chunks is not None:
-                for shard_id, values in zip(touched, chunks):
+                for shard_id, values in zip(serving, chunks):
                     for (position, _), record in zip(by_shard[shard_id], values):
                         out[position] = record
-                return out
+                return finish(out)
 
         def fetch(shard_id: int) -> list[tuple[int, bytes | None]]:
             shard = self.shards[shard_id]
-            return [
-                (position, shard.get(key, default))
-                for position, key in by_shard[shard_id]
-            ]
+            return self._on_shard(
+                shard_id,
+                lambda: [
+                    (position, shard.get(key, default))
+                    for position, key in by_shard[shard_id]
+                ],
+            )
 
-        for chunk in self._fan_out(fetch, touched):
+        for chunk in self._fan_out(fetch, serving):
             for position, record in chunk:
                 out[position] = record
-        return out
+        return finish(out)
 
     def bulk_load(self, items: Iterable[tuple[int, bytes]]) -> None:
         """Partition ``(key, record)`` pairs by shard and load in parallel.
@@ -718,6 +898,7 @@ class ShardedEncipheredDatabase:
                 raise DuplicateKeyError(right)
         partitions = self.router.partition(pairs, key=lambda kv: kv[0])
         loaded = [i for i, part in enumerate(partitions) if part]
+        self._require_available(loaded)
         # The worker commits its replica to ship the state back, so the
         # process path is only equivalent when the parent would commit
         # too: an autocommit=False load must stay uncommitted (rollback-
@@ -731,7 +912,12 @@ class ShardedEncipheredDatabase:
             except UncommittedShardState:
                 pass  # racing writer left dirt: load in-process instead
         try:
-            self._fan_out(lambda i: self.shards[i].bulk_load(partitions[i]), loaded)
+            self._fan_out(
+                lambda i: self._on_shard(
+                    i, lambda: self.shards[i].bulk_load(partitions[i])
+                ),
+                loaded,
+            )
         finally:
             # in the finally: a *partial* failure already changed some
             # shards' durable state (cross-shard atomicity is documented
@@ -822,11 +1008,15 @@ class ShardedEncipheredDatabase:
             return 0
         partitions = self.router.partition(pairs, key=lambda kv: kv[0])
         touched = [i for i, part in enumerate(partitions) if part]
+        self._require_available(touched)
         if self._offload_batch("put_many", touched, partitions):
             return len(pairs)
         try:
             self._fan_out(
-                lambda i: self.shards[i].put_many(partitions[i]), touched
+                lambda i: self._on_shard(
+                    i, lambda: self.shards[i].put_many(partitions[i])
+                ),
+                touched,
             )
         finally:
             # even on a partial failure: committed shards changed bytes
@@ -849,11 +1039,15 @@ class ShardedEncipheredDatabase:
             return 0
         partitions = self.router.partition(key_list, key=lambda k: k)
         touched = [i for i, part in enumerate(partitions) if part]
+        self._require_available(touched)
         if self._offload_batch("delete_many", touched, partitions):
             return len(key_list)
         try:
             self._fan_out(
-                lambda i: self.shards[i].delete_many(partitions[i]), touched
+                lambda i: self._on_shard(
+                    i, lambda: self.shards[i].delete_many(partitions[i])
+                ),
+                touched,
             )
         finally:
             self._note_changed_writes(touched)
@@ -895,8 +1089,36 @@ class ShardedEncipheredDatabase:
             )
         except UncommittedShardState:
             return False  # racing writer left dirt: mutate in-process
+        except (WorkerCrashError, ShardUnavailableError) as exc:
+            # a worker died (or exhausted its respawn budget) during the
+            # sync/dispatch phase: no slice has been applied parent-side
+            # yet, so the whole batch can still run in-process against
+            # the parent's intact shards
+            self._note_worker_trouble(exc, touched)
+            return False
         first_error: BaseException | None = None
         for shard_id, (ok, value) in zip(touched, outcomes):
+            if not ok and isinstance(value, WorkerCrashError):
+                # the worker died mid-slice.  Its replica died with it
+                # (nothing half-applied survives), and the parent shard
+                # never saw the slice -- so the mutation is safe to run
+                # parent-side, exactly as if the offload never happened.
+                # The slice's cipher work honestly runs again and is
+                # counted again, like the stale-install race below.
+                self._note_worker_trouble(value, (shard_id,))
+                procs.invalidate((shard_id,))
+                try:
+                    shard = self.shards[shard_id]
+                    if op == "put_many":
+                        shard.put_many(partitions[shard_id])
+                    else:
+                        shard.delete_many(partitions[shard_id])
+                except BaseException as exc:
+                    if first_error is None:
+                        first_error = exc
+                finally:
+                    self._note_changed_writes((shard_id,))
+                continue
             if not ok:
                 # the slice failed worker-side (duplicate key, missing
                 # key, oversized record): the replica rolled back, but
@@ -1003,7 +1225,7 @@ class ShardedEncipheredDatabase:
         :meth:`EncipheredDatabase.warm`); worker replicas are skipped --
         they warm themselves on their next synced fan-out.
         """
-        shard_ids = list(range(len(self.shards)))
+        shard_ids, _ = self.health.partition(range(len(self.shards)))
         if background:
             for i in shard_ids:
                 self.shards[i].warm(levels, hot_record_blocks, background=True)
@@ -1021,6 +1243,8 @@ class ShardedEncipheredDatabase:
                 )
             except UncommittedShardState:
                 pass  # racing writer left dirt: parent-side warm stands
+            except (WorkerCrashError, ShardUnavailableError) as exc:
+                self._note_worker_trouble(exc, shard_ids)
         return warmed
 
     def save_heat(self) -> int:
@@ -1089,9 +1313,14 @@ class ShardedEncipheredDatabase:
         no-op commit rewrites the superblock with identical bytes, so
         the worker replicas stay valid and a read-heavy process-backend
         workload does not re-ship every platter after each periodic
-        commit.
+        commit.  Quarantined shards are skipped: their device already
+        failed permanently, and re-raising that error from every
+        periodic commit would stop the healthy shards from ever
+        committing.
         """
         for i, shard in enumerate(self.shards):
+            if self.health.is_quarantined(i):
+                continue
             pending = (
                 shard.has_uncommitted_changes or shard.tree.pager.dirty_blocks
             )
@@ -1147,10 +1376,19 @@ class ShardedEncipheredDatabase:
             # the shard, which the shard's own snapshot then reflects
             base = shard.stats()
             per_shard.append(merge_counter_dicts([base, *extras]) if extras else base)
+            # gauges are export-only readings (outside the mergeable
+            # snapshot): publish each shard's health state where the
+            # obs dump can show it next to the latency instruments
+            shard.obs.registry.gauge("health.state").set(
+                _HEALTH_GAUGE[self.health.state(i)]
+            )
         return ClusterStats(
             router=self.router.name,
             per_shard=per_shard,
             replica_sync=self.sync_stats(),
+            health=self.health.snapshot(
+                worker=self._procs.sync_stats if self._procs is not None else None
+            ),
         )
 
     def sync_stats(self) -> dict[str, int] | None:

@@ -53,12 +53,17 @@ class ClusterStats:
     process executor's ship accounting (full vs delta re-syncs and the
     platter bytes each moved) when that backend has run, ``None``
     otherwise; it is executor-level state, not a per-shard counter, so
-    it stays outside the leaf-wise merge.
+    it stays outside the leaf-wise merge.  ``health`` is the
+    fault-tolerance rollup from :class:`~repro.cluster.health.
+    ClusterHealth` -- per-shard state machines, lifetime fault counters
+    and the executor's supervision counters; like ``replica_sync`` it
+    carries cluster-level state and stays outside the merge.
     """
 
     router: str
     per_shard: list[dict[str, object]]
     replica_sync: dict[str, int] | None = None
+    health: dict[str, object] | None = None
 
     @property
     def num_shards(self) -> int:
@@ -168,6 +173,17 @@ class ClusterStats:
                 f"replica sync: {sync['delta_ships']} delta ships "
                 f"({sync['delta_bytes']} B), {sync['full_ships']} full ships "
                 f"({sync['full_bytes']} B)"
+            )
+        if self.health is not None:
+            states = self.health["states"]
+            worker = self.health["worker"]
+            lines.append(
+                f"health: {states['healthy']} healthy / "
+                f"{states['degraded']} degraded / "
+                f"{states['quarantined']} quarantined; "
+                f"{worker['respawns']} respawns, "
+                f"{worker['worker_deaths']} worker deaths, "
+                f"{self.health['degraded_reads_served']} degraded reads"
             )
         heat = agg.get("observability", {}).get("heat")
         if heat and heat.get("ops"):

@@ -303,6 +303,10 @@ class EncipheredDatabase:
         self._flusher_stop = False
         self._flush_error: BaseException | None = None
         self._async_flushes = 0
+        # close() is idempotent: the flag flips before any teardown, so
+        # a second close (context-manager exit after an explicit close,
+        # cluster close after a per-shard close) is a clean no-op
+        self._db_closed = False
 
     # -- superblock ------------------------------------------------------
 
@@ -1061,26 +1065,50 @@ class EncipheredDatabase:
         and a known backend the accumulated record-block heat is
         persisted on the way out, so the *next* open can warm the blocks
         this run proved hot.
+
+        Idempotent: a second call returns immediately.  Hardened for
+        degraded shutdowns (a crashed worker, an injected device fault):
+        every resource -- flusher thread, readahead workers, file
+        handles -- is released even when the final commit or the async
+        flusher drain errors, and only then does the first such error
+        propagate.  Close never wedges holding half the resources.
         """
+        if self._db_closed:
+            return
+        self._db_closed = True
         if self._warm_thread is not None:
             # a background warm may still hold the read lock; wait it
             # out (bounded -- it is advisory) before tearing devices down
             self._warm_thread.join(timeout=10.0)
-        if self.has_uncommitted_changes:
-            self.commit()
-        if self._group_commit:
-            # drain staged-but-unflushed durability work (async mode) and
-            # surface any error a background flush stashed
-            self.wait_durable()
+        first_error: BaseException | None = None
+        try:
+            if self.has_uncommitted_changes:
+                self.commit()
+            if self._group_commit:
+                # drain staged-but-unflushed durability work (async mode)
+                # and surface any error a background flush stashed
+                self.wait_durable()
+        except BaseException as exc:
+            first_error = exc
         self._stop_flusher()
-        self.tree.pager.close()  # readahead workers must not outlive devices
-        if self._backend is not None and self.obs.enabled:
+        try:
+            self.tree.pager.close()  # readahead workers must not outlive devices
+        except BaseException as exc:
+            if first_error is None:
+                first_error = exc
+        if self._backend is not None and self.obs.enabled and first_error is None:
             try:
                 self.save_heat()
             except StorageError:
                 pass  # heat is advisory; closing must not fail over it
-        self.records.disk.close()
-        self.disk.close()
+        for device in (self.records.disk, self.disk):
+            try:
+                device.close()
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     # -- persisted heat ---------------------------------------------------
 
@@ -1293,6 +1321,13 @@ class EncipheredDatabase:
                 "durability": {
                     "node": self.disk.durability_snapshot(),
                     "records": self.records.disk.durability_snapshot(),
+                },
+                # injected-fault and retry accounting (PR 10); all-zero
+                # -- but present and same-shaped, for the leaf-wise
+                # cluster merge -- when no fault plan is armed
+                "faults": {
+                    "node": self.disk.fault_snapshot(),
+                    "records": self.records.disk.fault_snapshot(),
                 },
                 "record_cipher": self.records.cipher_counts.snapshot(),
                 "record_cache": self.records.cache.stats.snapshot(),

@@ -83,6 +83,76 @@ class PlatterFormatError(StorageError):
     """
 
 
+class TransientIOError(StorageError):
+    """A device operation failed in a way that a retry may fix.
+
+    Raised by the fault-injection seam (and reserved for real backends
+    whose errors are known to be retryable).  :class:`repro.faults.RetryPolicy`
+    classifies these as retryable; everything else is treated as
+    permanent and surfaces immediately.
+    """
+
+
+class PermanentIOError(StorageError):
+    """A device has failed for good; retrying cannot help.
+
+    Once a device raises this it stays failed (the injector is sticky),
+    which is what lets the cluster's health plane quarantine the shard
+    instead of retrying forever.
+    """
+
+
+class WorkerCrashError(StorageError):
+    """A shard worker process died (or was killed) mid-conversation.
+
+    Classified as *transient* by :class:`repro.faults.RetryPolicy`: the
+    executor can respawn the worker and re-ship its replica, so the
+    operation is retryable as long as the respawn budget holds out.
+    """
+
+    def __init__(self, shard_id: int, message: str) -> None:
+        super().__init__(f"shard {shard_id} {message}")
+        self.shard_id = shard_id
+
+    def __reduce__(self):
+        # multi-argument __init__ breaks the default exception pickling
+        return (WorkerCrashError, (self.shard_id, _strip_shard_prefix(self)))
+
+
+class WorkerTimeoutError(WorkerCrashError):
+    """A shard worker missed its per-op deadline and was put down."""
+
+    def __reduce__(self):
+        return (WorkerTimeoutError, (self.shard_id, _strip_shard_prefix(self)))
+
+
+def _strip_shard_prefix(exc: WorkerCrashError) -> str:
+    text = str(exc)
+    prefix = f"shard {exc.shard_id} "
+    return text[len(prefix):] if text.startswith(prefix) else text
+
+
+class ShardUnavailableError(StorageError):
+    """A cluster operation touched a shard that is out of service.
+
+    Raised when a shard is quarantined (permanent device failure,
+    exhausted worker-respawn budget) and the caller did not opt into
+    degraded reads.  Carries the shard id so routers and retry layers
+    can act on it.
+    """
+
+    def __init__(self, shard_id: int, reason: str = "") -> None:
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"shard {shard_id} unavailable{detail}")
+        self.shard_id = shard_id
+        self.reason = reason
+
+    def __reduce__(self):
+        # multi-argument __init__ breaks the default exception pickling;
+        # worker processes ship these back over the result pipe
+        return (type(self), (self.shard_id, self.reason))
+
+
 class BTreeError(ReproError):
     """Base class for B-Tree failures."""
 

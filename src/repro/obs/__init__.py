@@ -82,6 +82,8 @@ INSTRUMENTS = (
     "wal.group_commit",
     "executor.full_ship",
     "executor.delta_ship",
+    "executor.respawn",
+    "device.fault_retry",
 )
 
 

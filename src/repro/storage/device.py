@@ -36,11 +36,24 @@ counter shape for every backend so cluster statistics merge leaf-wise.
 
 from __future__ import annotations
 
+import random
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
-from repro.exceptions import BlockBoundsError, StorageError
+from repro.exceptions import (
+    BlockBoundsError,
+    PermanentIOError,
+    StorageError,
+    TransientIOError,
+)
+from repro.faults import (
+    FaultInjector,
+    RetryPolicy,
+    plan_from_env,
+    zero_fault_counters,
+)
 from repro.obs.tracing import NULL_TRACER
 from repro.storage.journal import ChangeJournal
 
@@ -131,6 +144,9 @@ DURABILITY_FIELDS = (
     # paying their own WAL append + fsyncs + header flip
     "group_rounds",
     "group_joins",
+    # background checkpointing (PR 10): WAL compactions run off the
+    # commit path by the platter's daemon checkpointer
+    "background_checkpoints",
 )
 
 
@@ -163,6 +179,124 @@ class BlockDevice(ABC):
         #: is what keeps no-op commits -- identical superblock rewrites
         #: -- invisible to the sync protocol.
         self.journal = ChangeJournal(on_seal=self._on_journal_seal)
+        #: Fault-injection + retry seam (the chaos plane).  Unset by
+        #: default; :func:`repro.faults.plan_from_env` arms every device
+        #: constructed while ``REPRO_FAULTS`` is set.
+        self.faults: FaultInjector | None = None
+        self.retry_policy: RetryPolicy | None = None
+        self.retry_counters = {"retries": 0, "retries_exhausted": 0}
+        self._fault_rng = random.Random(0)
+        plan = plan_from_env()
+        if plan is not None:
+            self.attach_faults(plan.injector(label=type(self).__name__), plan.retry)
+
+    # -- fault injection + retries (the chaos seam) ----------------------
+
+    def attach_faults(
+        self,
+        injector: FaultInjector | None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
+        """Arm (or disarm, with ``None``) fault injection on this device.
+
+        Attaching replaces any previous injector -- including one armed
+        from the environment -- and resets the retry counters, so a test
+        that attaches its own schedule observes only its own faults.
+        When an injector is supplied without a policy the default
+        :class:`~repro.faults.RetryPolicy` is used; pass an explicit
+        policy of ``None`` only by disarming entirely.
+        """
+        self.faults = injector
+        if injector is None:
+            self.retry_policy = retry_policy
+        else:
+            self.retry_policy = retry_policy or RetryPolicy()
+        self.retry_counters = {"retries": 0, "retries_exhausted": 0}
+        seed = getattr(injector, "seed", 0) if injector is not None else 0
+        self._fault_rng = random.Random(seed ^ 0x5EED)
+
+    def fault_snapshot(self) -> dict[str, int]:
+        """Injected-fault + retry counters in one fixed, mergeable shape."""
+        snap = zero_fault_counters()
+        if self.faults is not None:
+            snap.update(self.faults.snapshot())
+        snap["retries"] = self.retry_counters["retries"]
+        snap["retries_exhausted"] = self.retry_counters["retries_exhausted"]
+        return snap
+
+    def _inject(self, op: str, block_id: int | None, stored: bytes | None) -> None:
+        """Consult the injector for one at-rest op; raise/sleep on its cue.
+
+        Runs *before* the backend primitive, so an injected failure that
+        is later retried leaves :class:`DiskStats` exactly as a
+        fault-free run would -- only torn writes land (corrupt) bytes.
+        """
+        action = self.faults.fire(op)
+        if action is None:
+            return
+        where = f" on block {block_id}" if block_id is not None else ""
+        if action.kind == "latency":
+            time.sleep(action.delay_s)
+            return
+        if action.kind == "torn" and stored is not None and block_id is not None:
+            # the classic torn write: corrupt bytes reach the platter AND
+            # the caller sees an error -- a retry must heal byte-exactly
+            self._store(block_id, self.faults.tear(stored))
+            raise TransientIOError(f"injected torn write{where}")
+        if action.kind in ("transient", "torn"):
+            raise TransientIOError(f"injected transient {op} error{where}")
+        raise PermanentIOError(f"injected permanent {op} failure{where}")
+
+    def _guarded(self, op: str, fn, block_id: int | None = None,
+                 stored: bytes | None = None):
+        """Run an at-rest primitive under injection and the retry policy.
+
+        The transform never sits inside this loop: callers transform
+        once, then retry only the at-rest part, keeping cipher-operation
+        counts identical whether or not faults fire.
+        """
+        faults = self.faults
+        policy = self.retry_policy
+        if faults is None and policy is None:
+            return fn()
+
+        def attempt():
+            if faults is not None:
+                self._inject(op, block_id, stored)
+            return fn()
+
+        if policy is None:
+            return attempt()
+
+        def on_retry(_attempt_no, _exc):
+            self.retry_counters["retries"] += 1
+            with self.tracer.trace("device.fault_retry"):
+                pass  # count the retry in the span stream, duration ~0
+
+        try:
+            return policy.call(attempt, rng=self._fault_rng, on_retry=on_retry)
+        except Exception as exc:
+            if RetryPolicy.is_transient(exc):
+                self.retry_counters["retries_exhausted"] += 1
+            raise
+
+    def _guarded_batch(self, attempt):
+        """Retry an already-prepared batch attempt (injection included)."""
+        policy = self.retry_policy
+        if policy is None:
+            return attempt()
+
+        def on_retry(_attempt_no, _exc):
+            self.retry_counters["retries"] += 1
+            with self.tracer.trace("device.fault_retry"):
+                pass  # count the retry in the span stream, duration ~0
+
+        try:
+            return policy.call(attempt, rng=self._fault_rng, on_retry=on_retry)
+        except Exception as exc:
+            if RetryPolicy.is_transient(exc):
+                self.retry_counters["retries_exhausted"] += 1
+            raise
 
     # -- allocation ------------------------------------------------------
 
@@ -190,12 +324,23 @@ class BlockDevice(ABC):
                 f"payload of {len(stored)} bytes overflows {self.block_size}-byte block",
                 block_id=block_id,
             )
-        self._store(block_id, stored)
+        if self.faults is None and self.retry_policy is None:
+            self._store(block_id, stored)
+        else:
+            self._guarded(
+                "write", lambda: self._store(block_id, stored),
+                block_id=block_id, stored=stored,
+            )
 
     def read_block(self, block_id: int) -> bytes:
         """Read a block; the transform is inverted after the platter."""
         self._check_id(block_id)
-        stored = self._fetch(block_id)
+        if self.faults is None and self.retry_policy is None:
+            stored = self._fetch(block_id)
+        else:
+            stored = self._guarded(
+                "read", lambda: self._fetch(block_id), block_id=block_id
+            )
         return self.transform.on_read(block_id, stored) if self.transform else stored
 
     def read_many(self, block_ids) -> list[bytes]:
@@ -215,7 +360,18 @@ class BlockDevice(ABC):
         ids = list(block_ids)
         for block_id in ids:
             self._check_id(block_id)
-        stored = self._fetch_many(ids)
+        if self.faults is None and self.retry_policy is None:
+            stored = self._fetch_many(ids)
+        else:
+            # the injector sees one "read" op per block (matching the
+            # looped form); the whole batch retries as a unit
+            def attempt_batch():
+                if self.faults is not None:
+                    for block_id in ids:
+                        self._inject("read", block_id, None)
+                return self._fetch_many(ids)
+
+            stored = self._guarded_batch(attempt_batch)
         if self.transform is None:
             return stored
         return [self.transform.on_read(b, s) for b, s in zip(ids, stored)]
@@ -238,7 +394,17 @@ class BlockDevice(ABC):
                     block_id=block_id,
                 )
             pairs.append((block_id, stored))
-        self._store_many(pairs)
+        if self.faults is None and self.retry_policy is None:
+            self._store_many(pairs)
+            return
+
+        def attempt_batch():
+            if self.faults is not None:
+                for pair_id, pair_stored in pairs:
+                    self._inject("write", pair_id, pair_stored)
+            self._store_many(pairs)
+
+        self._guarded_batch(attempt_batch)
 
     @abstractmethod
     def _store(self, block_id: int, stored: bytes) -> None:

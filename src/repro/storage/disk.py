@@ -19,6 +19,13 @@ readers overlap their waits exactly as real spindles overlap seeks.
 The device also exposes :meth:`raw_block`, the attacker's view: the bytes
 actually resting on the platter, *without* the transform -- this feeds the
 shape-reconstruction analysis (experiment C5).
+
+Fault-injection parity (PR 10) comes from the base class, not from this
+module: :meth:`BlockDevice.attach_faults` (or a ``REPRO_FAULTS``
+environment plan) arms the same injection/retry seam here as on the
+durable platter, with the injection firing *before* the backend
+primitive -- so a retried transient fault leaves :class:`DiskStats` and
+cipher counts byte-for-byte identical to a fault-free run.
 """
 
 from __future__ import annotations

@@ -192,11 +192,21 @@ class FilePlatter(BlockDevice):
         wal_limit_bytes: int = 16 * 1024 * 1024,
         group_commit: bool = False,
         fsync_latency_s: float = 0.0,
+        background_checkpoint: bool = False,
     ) -> None:
         self.path = os.fspath(path)
         self.wal_path = self.path + ".wal"
         self.fsync = fsync
         self.wal_limit_bytes = wal_limit_bytes
+        #: When True, the ``wal_limit_bytes`` auto-checkpoint runs on a
+        #: daemon thread instead of inline at the end of :meth:`sync`,
+        #: so a WAL-bound commit never stalls behind compaction.
+        #: :meth:`checkpoint_now` remains the synchronous escape hatch.
+        self.background_checkpoint = background_checkpoint
+        self._ckpt_thread: threading.Thread | None = None
+        self._ckpt_wake = threading.Event()
+        self._ckpt_stop = False
+        self._ckpt_error: Exception | None = None
         #: Group commit: concurrent :meth:`sync` callers coalesce -- one
         #: leader packs *everything* staged so far into a single WAL
         #: frame (one WAL fsync, one apply fsync, one header flip) while
@@ -505,6 +515,10 @@ class FilePlatter(BlockDevice):
             self.stats.fsyncs += 1
 
     def _fault(self, point: str) -> None:
+        # the shared injector seam first (REPRO_FAULTS / attach_faults),
+        # then the legacy per-instance hook the recovery tests predate it with
+        if self.faults is not None:
+            self.faults.crash_point(point)
         hook = self.fault_hook
         if hook is not None:
             hook(point)
@@ -602,7 +616,17 @@ class FilePlatter(BlockDevice):
         WAL append + fsyncs + header flip (they block until the round
         that covers them finishes).  A follower returns 0 -- its blocks
         were made durable, but by the leader's round.
+
+        Injected "sync" faults fire here, at the entry point, *before*
+        any WAL work starts -- the one place a failed sync is trivially
+        retryable (a mid-protocol failure is what the crash points
+        model, and those recover via ``abandon()`` + reopen, not retry).
         """
+        if self.faults is not None or self.retry_policy is not None:
+            return self._guarded("sync", self._sync_entry)
+        return self._sync_entry()
+
+    def _sync_entry(self) -> int:
         if not self.group_commit:
             with self._lock:
                 return self._sync_locked()
@@ -704,7 +728,10 @@ class FilePlatter(BlockDevice):
 
         self._wal.seek(0, os.SEEK_END)
         if self._wal.tell() > self.wal_limit_bytes:
-            self._checkpoint_locked()
+            if self.background_checkpoint:
+                self._request_background_checkpoint()
+            else:
+                self._checkpoint_locked()
         self.stats.write_time_s += perf_counter() - sync_start
         return len(entries)
 
@@ -738,11 +765,69 @@ class FilePlatter(BlockDevice):
         with self._lock:
             self._checkpoint_locked()
 
+    def checkpoint_now(self) -> None:
+        """Synchronous checkpoint, whatever mode the platter runs in.
+
+        The escape hatch for ``background_checkpoint=True``: callers who
+        need the WAL bounded *now* (before a backup, before measuring a
+        cold open) pay the compaction inline instead of waiting for the
+        daemon to get around to it.
+        """
+        self.checkpoint()
+
     def _checkpoint_locked(self) -> None:
         self._wal.truncate(_WAL_DATA_OFFSET)
         self._fsync_wal()
         self._repair.clear()
         self._durability["checkpoints"] += 1
+
+    # -- background checkpointing ----------------------------------------
+
+    def _request_background_checkpoint(self) -> None:
+        """Wake (starting if needed) the daemon checkpointer.
+
+        Called at the tail of ``_sync_locked`` with ``_lock`` held:
+        starting a thread and setting an event are both lock-free with
+        respect to the platter, so the commit returns immediately and
+        the compaction happens behind it.
+        """
+        if self._ckpt_thread is None or not self._ckpt_thread.is_alive():
+            self._ckpt_stop = False
+            self._ckpt_thread = threading.Thread(
+                target=self._checkpoint_loop,
+                name=f"platter-checkpoint-{os.path.basename(self.path)}",
+                daemon=True,
+            )
+            self._ckpt_thread.start()
+        self._ckpt_wake.set()
+
+    def _checkpoint_loop(self) -> None:
+        while True:
+            self._ckpt_wake.wait()
+            self._ckpt_wake.clear()
+            if self._ckpt_stop or self._closed:
+                return
+            try:
+                self.checkpoint()
+                with self._lock:
+                    self._durability["background_checkpoints"] += 1
+            except Exception as exc:  # surfaced via checkpoint_error
+                self._ckpt_error = exc
+
+    @property
+    def checkpoint_error(self) -> Exception | None:
+        """The last error the background checkpointer hit, if any."""
+        return self._ckpt_error
+
+    def _stop_checkpointer(self) -> None:
+        """Stop the daemon checkpointer; must be called without ``_lock``."""
+        thread = self._ckpt_thread
+        if thread is None:
+            return
+        self._ckpt_stop = True
+        self._ckpt_wake.set()
+        thread.join(timeout=5.0)
+        self._ckpt_thread = None
 
     def poll(self) -> set[int] | None:
         """Catch up with commits another handle made to the same file.
@@ -789,19 +874,27 @@ class FilePlatter(BlockDevice):
             return changed
 
     def close(self) -> None:
-        """Sync pending writes, then release the file handles."""
+        """Sync pending writes, then release the file handles.
+
+        The handles are released even when the final sync fails (an
+        injected permanent fault, a full disk): the sync error still
+        propagates, but a second ``close()`` is a no-op either way and
+        no descriptor leaks into the crash-recovery path.
+        """
         with self._lock:
             if self._closed:
                 return
-        # outside _lock: the group-commit sync takes the group condition
-        # first; a second close racing in simply finds nothing pending
-        self.sync()
-        with self._lock:
-            if self._closed:
-                return
-            self._closed = True
-            self._fh.close()
-            self._wal.close()
+        self._stop_checkpointer()
+        try:
+            # outside _lock: the group-commit sync takes the group condition
+            # first; a second close racing in simply finds nothing pending
+            self.sync()
+        finally:
+            with self._lock:
+                if not self._closed:
+                    self._closed = True
+                    self._fh.close()
+                    self._wal.close()
 
     def abandon(self) -> None:
         """Drop the handles with *no* sync -- the crash-test kill switch."""
@@ -811,6 +904,7 @@ class FilePlatter(BlockDevice):
             self._closed = True
             self._fh.close()
             self._wal.close()
+        self._stop_checkpointer()
 
     def durability_snapshot(self) -> dict[str, int]:
         with self._lock:

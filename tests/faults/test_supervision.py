@@ -1,0 +1,209 @@
+"""Worker supervision: heartbeats, deadlines, bounded respawn, offload rescue.
+
+The process executor's failure contract: a worker that dies or hangs is
+detected (EOF or op deadline), reaped, and -- within the respawn budget
+-- replaced by a fresh replica rebuilt through the ordinary ship
+machinery.  Reads retry transparently; an offloaded mutation falls back
+to the parent-side path, which must leave the platters byte-identical
+to a cluster that never offloaded at all (the satellite-4 guarantee).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.executor import ProcessShardExecutor
+from repro.cluster.sharded import ShardedEncipheredDatabase
+from repro.crypto.rsa import RSA, generate_rsa_keypair
+from repro.designs.difference_sets import planar_difference_set
+from repro.designs.multipliers import non_multiplier_units
+from repro.exceptions import ShardUnavailableError, WorkerCrashError
+from repro.substitution.oval import OvalSubstitution
+
+DESIGN = planar_difference_set(13)  # v = 183
+UNITS = non_multiplier_units(DESIGN)
+NUM_SHARDS = 3
+
+
+def sub_factory(i: int) -> OvalSubstitution:
+    return OvalSubstitution(DESIGN, t=UNITS[i * 5 % len(UNITS)])
+
+
+def cipher_factory(i: int) -> RSA:
+    return RSA(generate_rsa_keypair(bits=128, rng=random.Random(0xE0 + i)))
+
+
+def make_cluster(executor="processes", **kwargs) -> ShardedEncipheredDatabase:
+    return ShardedEncipheredDatabase.create(
+        sub_factory,
+        cipher_factory,
+        num_shards=NUM_SHARDS,
+        router="hash",
+        block_size=512,
+        min_degree=2,
+        executor=executor,
+        **kwargs,
+    )
+
+
+def seed_data(cluster, n=60):
+    rng = random.Random(7)
+    keys = rng.sample(range(DESIGN.v), n)
+    cluster.put_many([(k, f"rec-{k}".encode()) for k in keys])
+    return keys
+
+
+def platter_fingerprint(cluster):
+    return [
+        (shard.disk.export_state(), shard.records.disk.export_state())
+        for shard in cluster.shards
+    ]
+
+
+class TestHeartbeat:
+    def test_probe_states(self):
+        with make_cluster() as cluster:
+            procs = cluster._process_pool()
+            assert procs.heartbeat() == [None] * NUM_SHARDS  # nothing spawned
+            keys = seed_data(cluster)
+            cluster.range_search(0, DESIGN.v)  # spawns every worker
+            assert procs.heartbeat() == [True] * NUM_SHARDS
+            # silently SIGKILL one worker: the probe finds and reaps it
+            procs._procs[1].kill()
+            procs._procs[1].join()
+            beat = procs.heartbeat()
+            assert beat[1] is False and beat[0] is True and beat[2] is True
+            assert procs.sync_stats["worker_deaths"] >= 1
+            # the reaped worker respawns on the next fan-out, invisibly
+            hits = cluster.range_search(0, DESIGN.v)
+            assert [k for k, _ in hits] == sorted(keys)
+            assert procs.sync_stats["respawns"] >= 1
+
+
+class TestCrashRecovery:
+    def test_read_survives_injected_worker_crash(self):
+        with make_cluster() as cluster:
+            keys = seed_data(cluster)
+            cluster.range_search(0, DESIGN.v)  # spawn + ship replicas
+            procs = cluster._process_pool()
+            procs.inject_worker_fault(0, crash_after=1)
+            hits = cluster.range_search(0, DESIGN.v)  # worker 0 dies mid-op
+            assert [k for k, _ in hits] == sorted(keys)
+            stats = procs.sync_stats
+            assert stats["worker_deaths"] >= 1
+            assert stats["respawns"] >= 1
+            # the op was salvaged inside map() -- by respawn-and-retry --
+            # or absorbed by the cluster's in-process fallback; either
+            # way the health plane saw it
+            health = cluster.stats().health
+            assert (
+                stats["op_retries"] >= 1
+                or health["per_shard"][0]["worker_losses"] >= 1
+            )
+
+    def test_hang_is_reaped_by_the_op_deadline(self):
+        with make_cluster(op_deadline_s=0.5) as cluster:
+            keys = seed_data(cluster)
+            cluster.range_search(0, DESIGN.v)
+            procs = cluster._process_pool()
+            procs.inject_worker_fault(1, hang_after=1, hang_s=3600.0)
+            hits = cluster.range_search(0, DESIGN.v)  # must not wedge
+            assert [k for k, _ in hits] == sorted(keys)
+            assert procs.sync_stats["op_timeouts"] >= 1
+            assert procs.sync_stats["worker_deaths"] >= 1
+
+    def test_respawn_budget_is_bounded(self):
+        with make_cluster() as cluster:
+            seed_data(cluster)
+            cluster.range_search(0, DESIGN.v)
+            procs = cluster._process_pool()
+            procs.respawn_limit = 0  # first respawn attempt already exceeds
+            procs.inject_worker_fault(0, crash_after=1)
+            with pytest.raises(ShardUnavailableError) as info:
+                procs.map(
+                    "range_search",
+                    [0],
+                    [(0, DESIGN.v)],
+                    cluster.shards,
+                    cluster._shard_epochs,
+                )
+            assert info.value.shard_id == 0
+            assert "respawn budget" in str(info.value)
+
+    def test_cluster_falls_back_when_budget_exhausted(self):
+        with make_cluster() as cluster:
+            keys = seed_data(cluster)
+            cluster.range_search(0, DESIGN.v)
+            procs = cluster._process_pool()
+            procs.respawn_limit = 0
+            procs.inject_worker_fault(0, crash_after=1)
+            # the executor gives up on shard 0's worker; the cluster's
+            # parent copy serves the read anyway
+            hits = cluster.range_search(0, DESIGN.v)
+            assert [k for k, _ in hits] == sorted(keys)
+            health = cluster.stats().health
+            assert health["per_shard"][0]["worker_losses"] >= 1
+            # worker trouble is not shard trouble: nothing quarantined
+            assert health["states"]["quarantined"] == 0
+
+
+class TestOffloadRescue:
+    """Satellite 4: SIGKILL mid ``put_many`` offload, byte-identical rescue."""
+
+    def test_crash_mid_offload_matches_serial_control(self):
+        control = make_cluster(executor="serial")
+        chaos = make_cluster(executor="processes")
+        try:
+            base = [(k, f"rec-{k}".encode()) for k in range(0, 120, 2)]
+            extra = [(k, f"rec-{k}".encode()) for k in range(1, 121, 2)]
+            control.put_many(base)
+            chaos.put_many(base)
+            chaos.range_search(0, DESIGN.v)  # spawn + ship every worker
+            procs = chaos._process_pool()
+            procs.inject_worker_fault(1, crash_after=1)
+            # worker 1 dies at the start of its put_many slice -- after
+            # the sync, before any reply -- so the parent re-runs that
+            # slice in-process while the sibling slices stay offloaded
+            assert chaos.put_many(extra) == len(extra)
+            control.put_many(extra)
+            assert procs.sync_stats["worker_deaths"] >= 1
+            everything = sorted(base + extra)
+            assert chaos.range_search(0, DESIGN.v) == everything
+            assert control.range_search(0, DESIGN.v) == everything
+            assert platter_fingerprint(chaos) == platter_fingerprint(control)
+            health = chaos.stats().health
+            assert health["per_shard"][1]["worker_losses"] >= 1
+        finally:
+            control.close()
+            chaos.close()
+
+    def test_close_after_worker_death_does_not_raise(self):
+        cluster = make_cluster()
+        seed_data(cluster)
+        cluster.range_search(0, DESIGN.v)
+        procs = cluster._process_pool()
+        for proc in procs._procs:
+            if proc is not None:
+                proc.kill()
+                proc.join()
+        cluster.close()  # drains, harvests what it can, never raises
+        cluster.close()  # and is idempotent
+
+
+class TestExecutorDirect:
+    def test_worker_crash_error_names_the_shard(self):
+        executor = ProcessShardExecutor(sub_factory, cipher_factory, 1)
+        try:
+            with make_cluster(executor="serial") as cluster:
+                seed_data(cluster)
+                executor.sync(0, cluster.shards[0], 0)
+                executor._procs[0].kill()
+                executor._procs[0].join()
+                with pytest.raises(WorkerCrashError) as info:
+                    executor._request(0, "stats", None)
+                assert info.value.shard_id == 0
+                assert "worker died" in str(info.value)
+        finally:
+            executor.close()
